@@ -1,0 +1,119 @@
+// Ablation: embedding-compression methods at comparable budgets — the
+// paper's related-work argument made quantitative. Trains the same DLRM on
+// teacher-labeled data with:
+//   dense      — fp32 nn.EmbeddingBag (reference)
+//   eff-tt     — Eff-TT tables (the paper's method)
+//   hashing    — feature hashing with the SAME parameter count as eff-tt
+//   int8       — row-wise quantized table (4x smaller than dense)
+// and reports accuracy/AUC next to the embedding bytes.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/eff_tt_table.hpp"
+#include "data/synthetic.hpp"
+#include "dlrm/dlrm_model.hpp"
+#include "dlrm/metrics.hpp"
+#include "embed/embedding_bag.hpp"
+#include "embed/hashed_embedding_bag.hpp"
+#include "embed/quantized_embedding_bag.hpp"
+
+using namespace elrec;
+using namespace elrec::benchutil;
+
+namespace {
+
+constexpr index_t kDim = 16;
+constexpr index_t kRank = 8;
+constexpr index_t kBatch = 256;
+constexpr index_t kBatches = 600;
+
+enum class Method { kDense, kEffTT, kHashing, kInt8 };
+
+std::unique_ptr<IEmbeddingTable> make_table(Method m, index_t rows,
+                                            Prng& rng) {
+  switch (m) {
+    case Method::kDense:
+      return std::make_unique<EmbeddingBag>(rows, kDim, rng);
+    case Method::kEffTT: {
+      if (rows < 500) return std::make_unique<EmbeddingBag>(rows, kDim, rng);
+      return std::make_unique<EffTTTable>(
+          rows, TTShape::balanced(rows, kDim, 3, kRank), rng);
+    }
+    case Method::kHashing: {
+      if (rows < 500) return std::make_unique<EmbeddingBag>(rows, kDim, rng);
+      // Same float budget as the TT table of this row count.
+      const TTShape shape = TTShape::balanced(rows, kDim, 3, kRank);
+      const index_t hash_rows = std::max<index_t>(
+          2, static_cast<index_t>(shape.parameter_count()) / kDim);
+      return std::make_unique<HashedEmbeddingBag>(
+          rows, std::min(hash_rows, rows), kDim, rng);
+    }
+    case Method::kInt8:
+      return std::make_unique<QuantizedEmbeddingBag>(rows, kDim, rng);
+  }
+  return nullptr;
+}
+
+struct Result {
+  double acc = 0.0, auc = 0.0;
+  std::size_t bytes = 0;
+};
+
+Result run(Method m, const DatasetSpec& spec) {
+  Prng rng(101);
+  DlrmConfig cfg;
+  cfg.num_dense = spec.num_dense;
+  cfg.embedding_dim = kDim;
+  cfg.bottom_hidden = {32};
+  cfg.top_hidden = {32};
+  std::vector<std::unique_ptr<IEmbeddingTable>> tables;
+  for (index_t rows : spec.table_rows) tables.push_back(make_table(m, rows, rng));
+  DlrmModel model(cfg, std::move(tables), rng);
+
+  SyntheticDataset data(spec, 555);
+  for (index_t b = 0; b < kBatches; ++b) {
+    model.train_step(data.next_batch(kBatch), 0.15f);
+  }
+  Result r;
+  r.bytes = model.embedding_bytes();
+  std::vector<float> probs, all_p, all_l;
+  for (std::uint64_t salt = 0; salt < 8; ++salt) {
+    const MiniBatch eval = data.eval_batch(512, salt);
+    model.predict(eval, probs);
+    all_p.insert(all_p.end(), probs.begin(), probs.end());
+    all_l.insert(all_l.end(), eval.labels.begin(), eval.labels.end());
+  }
+  r.acc = binary_accuracy(all_p, all_l);
+  r.auc = roc_auc(all_p, all_l);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  header("Ablation: compression methods at comparable budgets (Criteo-Kaggle-like, 2000x scaled)");
+  const DatasetSpec spec = criteo_kaggle_spec().scaled(2000);
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Method", "Embedding bytes", "Accuracy", "AUC"});
+  const std::pair<Method, std::string> methods[] = {
+      {Method::kDense, "dense fp32"},
+      {Method::kEffTT, "Eff-TT (rank 8)"},
+      {Method::kHashing, "hashing @ TT budget"},
+      {Method::kInt8, "int8 rowwise"},
+  };
+  for (const auto& [m, name] : methods) {
+    const Result r = run(m, spec);
+    rows.push_back({name, fmt_bytes(static_cast<double>(r.bytes)),
+                    fmt(r.acc * 100, 2) + "%", fmt(r.auc, 3)});
+  }
+  print_table(rows);
+  note("TT matches the dense baseline at ~14x fewer embedding bytes (the");
+  note("paper's Table IV claim). On this synthetic teacher — IID random");
+  note("per-row scores — hashing at the same budget is statistically tied");
+  note("with TT: random scores have no low-rank structure for TT to exploit,");
+  note("and Zipf skew lets hashing's hot rows dominate their collision sets.");
+  note("TT's advantages are the collision-free mapping and (per the paper)");
+  note("accuracy on real CTR data; int8 training shows the rounding losses");
+  note("the paper cites for quantized tables.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: the Hot_ratio hyperparameter of Algorithm 2 (§IV). Hot indices
+// are pinned to the front (global information); only the cold remainder is
+// clustered by co-occurrence (local information). Sweeps the ratio and
+// measures the real effect on Eff-TT prefix sharing plus the community
+// structure found.
+#include "bench_util.hpp"
+#include "core/eff_tt_table.hpp"
+#include "data/synthetic.hpp"
+#include "reorder/bijection.hpp"
+
+using namespace elrec;
+using namespace elrec::benchutil;
+
+namespace {
+
+constexpr index_t kRows = 20000;
+
+double avg_prefixes(EffTTTable& table, SyntheticDataset& data, int batches) {
+  Matrix out;
+  index_t total = 0;
+  for (int b = 0; b < batches; ++b) {
+    table.forward(data.next_batch(512).sparse[0], out);
+    total += table.last_stats().unique_prefixes;
+  }
+  return static_cast<double>(total) / batches;
+}
+
+}  // namespace
+
+int main() {
+  header("Ablation: Hot_ratio in the index-reordering bijection (Algorithm 2)");
+  DatasetSpec spec;
+  spec.name = "hot-ratio-ablation";
+  spec.num_dense = 1;
+  spec.table_rows = {kRows};
+  spec.num_samples = 1 << 20;
+  spec.zipf_s = 1.15;
+  spec.locality_groups = 16;
+  spec.locality_fraction = 0.7;
+
+  const TTShape shape = TTShape::balanced(kRows, 32, 3, 8);
+
+  // Baseline: no reordering at all.
+  {
+    Prng rng(5);
+    EffTTTable plain(kRows, shape, rng);
+    SyntheticDataset eval(spec, 31);
+    for (int b = 0; b < 128; ++b) eval.next_batch(512);  // align stream position
+    std::printf("  no reordering: %.1f unique prefixes/batch\n",
+                avg_prefixes(plain, eval, 25));
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Hot_ratio", "hot pinned", "communities", "modularity",
+                  "unique prefixes/batch"});
+  for (double hot : {0.0, 0.001, 0.01, 0.05, 0.2}) {
+    SyntheticDataset data(spec, 31);
+    ReorderPipeline pipeline(kRows, hot, 7);
+    // Sessions rotate every 4 batches; 128 batches cover every group twice.
+    for (int b = 0; b < 128; ++b) {
+      pipeline.add_batch(data.next_batch(512).sparse[0].indices);
+    }
+    const BijectionResult bij = pipeline.finish();
+
+    Prng rng(5);
+    EffTTTable table(kRows, shape, rng);
+    table.set_index_bijection(bij.mapping);
+    // Continue the SAME stream (offline reordering, online training).
+    const double prefixes = avg_prefixes(table, data, 25);
+    rows.push_back({fmt(hot, 3), std::to_string(bij.num_hot),
+                    std::to_string(bij.num_communities),
+                    fmt(bij.modularity, 3), fmt(prefixes, 1)});
+  }
+  print_table(rows);
+  note("Too small a ratio wastes the skew (hot rows scattered); too large");
+  note("shrinks the graph the community detection can exploit. The paper's");
+  note("choice sits at a small nonzero ratio.");
+  return 0;
+}

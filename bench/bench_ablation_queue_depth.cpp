@@ -1,0 +1,77 @@
+// Ablation: prefetch/gradient queue depth (§V). Deeper queues widen the
+// window the embedding cache must cover — this bench shows, with the REAL
+// threaded runtime, that (a) correctness holds at every depth (identical
+// losses), (b) RAW repairs and cache size grow with depth, and, with the
+// timeline simulator, (c) how much iteration time the overlap saves.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "pipeline/elrec_trainer.hpp"
+#include "sim/timeline.hpp"
+
+using namespace elrec;
+using namespace elrec::benchutil;
+
+int main() {
+  header("Ablation: queue depth — real runtime (correctness & cache load)");
+  DatasetSpec spec;
+  spec.name = "depth-ablation";
+  spec.num_dense = 4;
+  spec.table_rows = {20000, 2000};
+  spec.num_samples = 1 << 20;
+  spec.zipf_s = 1.15;
+
+  ElRecTrainerConfig cfg;
+  cfg.model.num_dense = spec.num_dense;
+  cfg.model.embedding_dim = 16;
+  cfg.model.bottom_hidden = {32};
+  cfg.model.top_hidden = {32};
+  cfg.placement = {TablePlacement::kHost, TablePlacement::kDeviceTT};
+  cfg.tt_rank = 8;
+  cfg.lr = 0.05f;
+  cfg.seed = 21;
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Depth", "final loss", "rows patched", "cache peak",
+                  "loss == depth-1?"});
+  float reference_loss = 0.0f;
+  for (index_t depth : {1, 2, 4, 8, 16}) {
+    cfg.queue_capacity = depth;
+    ElRecTrainer trainer(cfg, spec);
+    SyntheticDataset data(spec, 33);
+    const ElRecRunStats stats = trainer.train(data, 100, 256);
+    if (depth == 1) reference_loss = stats.final_loss;
+    rows.push_back({std::to_string(depth), fmt(stats.final_loss, 5),
+                    std::to_string(stats.rows_patched),
+                    std::to_string(stats.cache_peak),
+                    std::fabs(stats.final_loss - reference_loss) < 1e-6
+                        ? "yes"
+                        : "NO"});
+  }
+  print_table(rows);
+  note("The cache makes every depth numerically identical while RAW repairs");
+  note("and the LC-bounded cache footprint grow with the window.");
+
+  header("Ablation: queue depth — modeled per-iteration time (timeline sim)");
+  std::vector<std::vector<std::string>> trows;
+  trows.push_back({"Depth", "iter (ms)", "vs depth-1", "worker stall (ms/iter)"});
+  PipelineSimConfig sim;
+  sim.server_seconds_per_batch = 0.009;   // CPU parameter service
+  sim.worker_seconds_per_batch = 0.011;   // device compute
+  sim.transfer_seconds_per_batch = 0.002;
+  sim.jitter = 0.5;  // real per-batch variance (unique counts, OS noise)
+  double depth1 = 0.0;
+  for (index_t depth : {1, 2, 4, 8, 16}) {
+    sim.queue_capacity = depth;
+    const PipelineSimResult r = simulate_pipeline(sim, 512);
+    const double iter = r.makespan_seconds / 512.0;
+    if (depth == 1) depth1 = iter;
+    trows.push_back({std::to_string(depth), fmt(iter * 1e3, 3),
+                     fmt(depth1 / iter, 2) + "x",
+                     fmt(r.worker_stall_seconds / 512.0 * 1e3, 3)});
+  }
+  print_table(trows);
+  note("Speedup saturates once the queue hides the server stage entirely;");
+  note("beyond that, extra depth only grows the cache (paper picks small Q).");
+  return 0;
+}

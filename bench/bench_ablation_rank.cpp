@@ -1,0 +1,82 @@
+// Ablation: TT rank — the paper's central hyperparameter (rank 128 on
+// V100, 64 on T4). Sweeps rank over footprint, REAL training throughput of
+// one Eff-TT table, and TT-SVD reconstruction error of a low-rank-structured
+// table (the approximation-quality side of the trade-off).
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "core/eff_tt_table.hpp"
+#include "data/synthetic.hpp"
+#include "tt/tt_svd.hpp"
+
+using namespace elrec;
+using namespace elrec::benchutil;
+
+namespace {
+
+constexpr index_t kRows = 500000;
+constexpr index_t kDim = 32;
+constexpr index_t kBatch = 2048;
+
+double train_throughput(index_t rank) {
+  DatasetSpec spec;
+  spec.name = "rank-ablation";
+  spec.num_dense = 1;
+  spec.table_rows = {kRows};
+  spec.num_samples = 1 << 20;
+  spec.zipf_s = 1.2;
+  SyntheticDataset data(spec, 7);
+
+  Prng rng(1);
+  EffTTTable table(kRows, TTShape::balanced(kRows, kDim, 3, rank), rng);
+  Matrix out, grad(kBatch, kDim);
+  Prng grad_rng(2);
+  grad.fill_normal(grad_rng, 0.0f, 0.01f);
+  std::vector<IndexBatch> batches;
+  for (int i = 0; i < 6; ++i) batches.push_back(data.next_batch(kBatch).sparse[0]);
+
+  // Warmup + best-of-3 rounds.
+  double best = 1e30;
+  for (int round = 0; round < 4; ++round) {
+    Stopwatch watch;
+    for (const IndexBatch& b : batches) {
+      table.forward(b, out);
+      table.backward_and_update(b, grad, 0.01f);
+    }
+    if (round > 0) best = std::min(best, watch.seconds());
+  }
+  return batches.size() * static_cast<double>(kBatch) / best;
+}
+
+}  // namespace
+
+int main() {
+  header("Ablation: TT rank — footprint vs throughput vs fidelity");
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Rank", "Params", "vs dense", "Train samples/s",
+                  "SVD rel. error*"});
+
+  // Fidelity probe: a synthetic table with fast-decaying spectrum,
+  // decomposed by TT-SVD at each rank.
+  Prng rng(3);
+  TTCores generator(TTShape({8, 8, 8}, {4, 2, 4}, {1, 12, 12, 1}));
+  generator.init_normal(rng, 0.1f);
+  const Matrix probe = generator.materialize(512);
+
+  for (index_t rank : {4, 8, 16, 32, 64}) {
+    const TTShape shape = TTShape::balanced(kRows, kDim, 3, rank);
+    const double err =
+        tt_reconstruction_error(tt_svd(probe, {8, 8, 8}, {4, 2, 4}, rank),
+                                probe);
+    rows.push_back({std::to_string(rank),
+                    std::to_string(shape.parameter_count()),
+                    fmt(shape.compression_ratio(kRows), 0) + "x smaller",
+                    fmt(train_throughput(rank), 0), fmt(err, 4)});
+  }
+  print_table(rows);
+  note("*reconstruction of a rank-12-structured 512x32 probe table;");
+  note(" error hits float-level once rank >= the table's intrinsic rank.");
+  note("Throughput falls roughly with rank^2 (the prefix GEMM is O(R^2));");
+  note("the paper picks rank 64-128 as the accuracy/cost sweet spot.");
+  return 0;
+}

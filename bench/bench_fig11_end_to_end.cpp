@@ -1,0 +1,52 @@
+// Fig. 11: end-to-end training speedup with a single GPU, on Tesla V100
+// (TT rank 128) and Tesla T4 (TT rank 64), for Avazu / Criteo Terabyte /
+// Criteo Kaggle.
+//
+// Speedups over the DLRM (CPU+GPU) baseline come from the calibrated
+// analytic device models (see DESIGN.md: this environment has no GPU), with
+// the input-dependent reuse ratios grounded in the datasets' Zipf skew.
+#include "bench_util.hpp"
+#include "sim_inputs.hpp"
+#include "sim/framework_models.hpp"
+
+using namespace elrec;
+using namespace elrec::benchutil;
+
+namespace {
+
+void run_device(const DeviceSpec& dev, index_t tt_rank) {
+  header("Fig. 11: end-to-end speedup over DLRM, single " + dev.name +
+         " (batch 4096, TT rank " + std::to_string(tt_rank) + ")");
+  const HostSpec host = aws_host();
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Dataset", "DLRM", "FAE", "TT-Rec", "EL-Rec",
+                  "EL-Rec iter (ms)", "unique ratio", "prefix ratio"});
+  double geo = 1.0;
+  int n = 0;
+  for (const DatasetSpec& spec : paper_dataset_specs()) {
+    DlrmWorkload w = DlrmWorkload::from_spec(spec, 4096, 64, tt_rank);
+    ground_workload_stats(w, spec);
+    const double t_dlrm = model_dlrm_ps(w, dev, host).total_sequential();
+    const double t_fae = model_fae(w, dev, host).total_sequential();
+    const double t_ttrec = model_ttrec(w, dev).total_sequential();
+    const double t_elrec = model_elrec(w, dev).total_sequential();
+    rows.push_back({spec.name, "1.00x", fmt(t_dlrm / t_fae, 2) + "x",
+                    fmt(t_dlrm / t_ttrec, 2) + "x",
+                    fmt(t_dlrm / t_elrec, 2) + "x", fmt(t_elrec * 1e3, 2),
+                    fmt(w.unique_index_ratio, 3),
+                    fmt(w.unique_prefix_ratio, 3)});
+    geo *= t_dlrm / t_elrec;
+    ++n;
+  }
+  print_table(rows);
+  note("EL-Rec geometric-mean speedup over DLRM: " +
+       fmt(std::pow(geo, 1.0 / n), 2) + "x  (paper: ~3x on V100)");
+}
+
+}  // namespace
+
+int main() {
+  run_device(v100(), 128);
+  run_device(t4(), 64);
+  return 0;
+}

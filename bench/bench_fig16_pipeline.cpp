@@ -1,0 +1,103 @@
+// Fig. 16: pipeline training system.
+//
+// Two parts:
+//  1. REAL: the multithreaded ElRecTrainer runs the same workload with
+//     queue depth 1 (EL-Rec Sequential) and depth 4 (EL-Rec Pipeline),
+//     verifying identical losses (the embedding cache removes the RAW
+//     hazard) and reporting cache activity.
+//  2. MODELED: per-iteration times for DLRM / EL-Rec(Seq) / EL-Rec(Pipe) on
+//     the paper's configuration — largest tables TT on device, rest in host
+//     memory — using the timeline simulator fed by the cost models.
+#include "bench_util.hpp"
+#include "sim_inputs.hpp"
+#include "pipeline/elrec_trainer.hpp"
+#include "sim/framework_models.hpp"
+#include "sim/timeline.hpp"
+
+using namespace elrec;
+using namespace elrec::benchutil;
+
+namespace {
+
+void real_pipeline_demo() {
+  header("Fig. 16 (real runtime): pipelined vs sequential EL-Rec training");
+  DatasetSpec spec;
+  spec.name = "pipe-demo";
+  spec.num_dense = 4;
+  spec.table_rows = {20000, 4000, 256};
+  spec.num_samples = 1 << 20;
+  spec.zipf_s = 1.15;
+
+  ElRecTrainerConfig cfg;
+  cfg.model.num_dense = spec.num_dense;
+  cfg.model.embedding_dim = 16;
+  cfg.model.bottom_hidden = {32};
+  cfg.model.top_hidden = {32};
+  cfg.placement = {TablePlacement::kDeviceTT, TablePlacement::kHost,
+                   TablePlacement::kDeviceDense};
+  cfg.tt_rank = 8;
+  cfg.lr = 0.05f;
+  cfg.seed = 3;
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Mode", "batches", "final loss", "RAW rows patched",
+                  "cache peak", "wall (s)"});
+  float seq_loss = 0.0f, pipe_loss = 0.0f;
+  for (index_t depth : {1, 4}) {
+    cfg.queue_capacity = depth;
+    ElRecTrainer trainer(cfg, spec);
+    SyntheticDataset data(spec, 17);
+    const ElRecRunStats stats = trainer.train(data, 120, 256);
+    (depth == 1 ? seq_loss : pipe_loss) = stats.final_loss;
+    rows.push_back({depth == 1 ? "Sequential (queue=1)" : "Pipeline (queue=4)",
+                    std::to_string(stats.batches), fmt(stats.final_loss, 4),
+                    std::to_string(stats.rows_patched),
+                    std::to_string(stats.cache_peak),
+                    fmt(stats.wall_seconds, 2)});
+  }
+  print_table(rows);
+  note(std::string("loss parity (cache correctness): |seq - pipe| = ") +
+       fmt(std::abs(seq_loss - pipe_loss), 6));
+}
+
+void modeled_timing() {
+  header("Fig. 16 (modeled timing): DLRM vs EL-Rec Sequential vs Pipeline");
+  const DeviceSpec dev = v100();
+  const HostSpec host = aws_host();
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Dataset", "DLRM (ms)", "EL-Rec Seq (ms)",
+                  "EL-Rec Pipe (ms)", "Pipe/DLRM", "Pipe/Seq"});
+  for (const DatasetSpec& spec : paper_dataset_specs()) {
+    DlrmWorkload w = DlrmWorkload::from_spec(spec, 4096, 64, 128);
+    ground_workload_stats(w, spec);
+    const double t_dlrm = model_dlrm_ps(w, dev, host).total_sequential();
+    const IterationCost hybrid = model_elrec_hybrid(w, dev, host, true);
+
+    // Replay the bounded-queue pipeline through the timeline simulator.
+    double cpu = 0.0, gpu = 0.0;
+    for (const auto& [name, sec] : hybrid.components) {
+      (name.rfind("cpu:", 0) == 0 ? cpu : gpu) += sec;
+    }
+    // Sequential = the paper's queue-length-1 degenerate case: the worker
+    // waits for the CPU parameter service every batch (strict sum).
+    const double t_seq = cpu + gpu;
+    PipelineSimConfig pipe_cfg{4, cpu, gpu, 0.0};
+    const double t_pipe =
+        simulate_pipeline(pipe_cfg, 256).makespan_seconds / 256.0;
+
+    rows.push_back({spec.name, fmt(t_dlrm * 1e3, 2), fmt(t_seq * 1e3, 2),
+                    fmt(t_pipe * 1e3, 2), fmt(t_dlrm / t_pipe, 2) + "x",
+                    fmt(t_seq / t_pipe, 2) + "x"});
+  }
+  print_table(rows);
+  note("Paper shape: EL-Rec(Pipeline) ~2.44x over DLRM and ~1.3x over");
+  note("EL-Rec(Sequential) — overlap hides the CPU-side parameter service.");
+}
+
+}  // namespace
+
+int main() {
+  real_pipeline_demo();
+  modeled_timing();
+  return 0;
+}

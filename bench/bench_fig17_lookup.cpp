@@ -1,0 +1,121 @@
+// Fig. 17: Eff-TT table LOOKUP latency vs batch size — REAL measurements
+// (google-benchmark) of this repo's kernels on one CPU core.
+//
+// Series:
+//   TTRec        — baseline TT table, per-occurrence recompute (TT-Rec)
+//   EffTT_NoReuse— Eff-TT with intermediate-result reuse disabled
+//   EffTT        — full Eff-TT (two-level reuse)
+//   EffTT_Reorder— full Eff-TT + locality-based index reordering (§IV)
+//   DenseBag     — uncompressed EmbeddingBag reference
+// Paper shape: EffTT ~1.83x over TTRec on average, growing with batch size;
+// reordering adds ~1.05x on top.
+#include <benchmark/benchmark.h>
+
+#include "core/eff_tt_table.hpp"
+#include "data/synthetic.hpp"
+#include "embed/embedding_bag.hpp"
+#include "reorder/bijection.hpp"
+#include "tt/tt_table.hpp"
+
+namespace elrec {
+namespace {
+
+constexpr index_t kRows = 500000;
+constexpr index_t kDim = 32;
+constexpr index_t kRank = 16;
+
+DatasetSpec bench_spec() {
+  DatasetSpec spec;
+  spec.name = "fig17";
+  spec.num_dense = 1;
+  spec.table_rows = {kRows};
+  spec.num_samples = 1 << 20;
+  spec.zipf_s = 1.2;
+  spec.locality_groups = 16;
+  spec.locality_fraction = 0.5;
+  return spec;
+}
+
+// Pre-generates batches so data generation stays out of the timed region.
+std::vector<IndexBatch> make_batches(index_t batch_size, int count) {
+  SyntheticDataset data(bench_spec(), 4321);
+  std::vector<IndexBatch> batches;
+  for (int i = 0; i < count; ++i) {
+    batches.push_back(data.next_batch(batch_size).sparse[0]);
+  }
+  return batches;
+}
+
+std::vector<index_t> reorder_mapping(std::uint64_t data_seed) {
+  // Built offline from the same-seeded stream the benchmark measures on
+  // (the paper generates the bijection from the training data).
+  static const std::vector<index_t> mapping = [data_seed] {
+    SyntheticDataset data(bench_spec(), data_seed);
+    ReorderPipeline pipeline(kRows, 0.005, 5);
+    for (int b = 0; b < 128; ++b) {
+      pipeline.add_batch(data.next_batch(1024).sparse[0].indices);
+    }
+    return pipeline.finish().mapping;
+  }();
+  return mapping;
+}
+
+template <typename Table>
+void run_lookup(benchmark::State& state, Table& table, index_t batch_size) {
+  const auto batches = make_batches(batch_size, 8);
+  Matrix out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    table.forward(batches[i % batches.size()], out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          batch_size);
+}
+
+void BM_Lookup_TTRec(benchmark::State& state) {
+  Prng rng(1);
+  TTTable table(kRows, TTShape::balanced(kRows, kDim, 3, kRank), rng);
+  run_lookup(state, table, state.range(0));
+}
+
+void BM_Lookup_EffTT_NoReuse(benchmark::State& state) {
+  Prng rng(1);
+  EffTTTable table(kRows, TTShape::balanced(kRows, kDim, 3, kRank), rng,
+                   EffTTConfig{false, true, true});
+  run_lookup(state, table, state.range(0));
+}
+
+void BM_Lookup_EffTT(benchmark::State& state) {
+  Prng rng(1);
+  EffTTTable table(kRows, TTShape::balanced(kRows, kDim, 3, kRank), rng);
+  run_lookup(state, table, state.range(0));
+}
+
+void BM_Lookup_EffTT_Reorder(benchmark::State& state) {
+  Prng rng(1);
+  EffTTTable table(kRows, TTShape::balanced(kRows, kDim, 3, kRank), rng);
+  table.set_index_bijection(reorder_mapping(4321));
+  run_lookup(state, table, state.range(0));
+}
+
+void BM_Lookup_DenseBag(benchmark::State& state) {
+  Prng rng(1);
+  EmbeddingBag table(kRows, kDim, rng);
+  run_lookup(state, table, state.range(0));
+}
+
+#define LOOKUP_ARGS \
+  ->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192)->MinTime(0.05)
+
+BENCHMARK(BM_Lookup_TTRec) LOOKUP_ARGS;
+BENCHMARK(BM_Lookup_EffTT_NoReuse) LOOKUP_ARGS;
+BENCHMARK(BM_Lookup_EffTT) LOOKUP_ARGS;
+BENCHMARK(BM_Lookup_EffTT_Reorder) LOOKUP_ARGS;
+BENCHMARK(BM_Lookup_DenseBag) LOOKUP_ARGS;
+
+}  // namespace
+}  // namespace elrec
+
+BENCHMARK_MAIN();

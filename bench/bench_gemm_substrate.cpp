@@ -1,0 +1,78 @@
+// Substrate sanity bench: GEMM and pointer-list batched GEMM throughput for
+// the shapes the Eff-TT kernels actually launch. Not a paper figure, but
+// the baseline every TT measurement stands on.
+#include <benchmark/benchmark.h>
+
+#include "tensor/batched_gemm.hpp"
+#include "tensor/gemm.hpp"
+
+namespace elrec {
+namespace {
+
+void BM_Gemm_Square(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Prng rng(1);
+  Matrix a(n, n), b(n, n), c(n, n);
+  a.fill_normal(rng);
+  b.fill_normal(rng);
+  for (auto _ : state) {
+    gemm(Trans::kNo, Trans::kNo, n, n, n, 1.0f, a.data(), n, b.data(), n,
+         0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm_Square)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->MinTime(0.05);
+
+// The Eff-TT stage-1 shape: (n1 x R1) * (R1 x n2 R2), thousands of products.
+void BM_BatchedGemm_TTPrefix(benchmark::State& state) {
+  const index_t products = state.range(0);
+  const index_t n1 = 4, r1 = 16, n2r2 = 4 * 16;
+  Prng rng(2);
+  Matrix a(products * n1, r1), b(products * r1, n2r2), c(products * n1, n2r2);
+  a.fill_normal(rng);
+  b.fill_normal(rng);
+  std::vector<const float*> pa, pb;
+  std::vector<float*> pc;
+  for (index_t i = 0; i < products; ++i) {
+    pa.push_back(a.row(i * n1));
+    pb.push_back(b.row(i * r1));
+    pc.push_back(c.row(i * n1));
+  }
+  BatchedGemmShape shape{n1, n2r2, r1, r1, n2r2, n2r2,
+                         1.0f, 0.0f, Trans::kNo, Trans::kNo};
+  for (auto _ : state) {
+    batched_gemm(shape, pa, pb, pc);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n1 * n2r2 * r1 * products *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchedGemm_TTPrefix)->Arg(256)->Arg(1024)->Arg(4096)->MinTime(0.05);
+
+void BM_Gemm_TallSkinny(benchmark::State& state) {
+  // MLP-like: (B x 64) * (64 x 256).
+  const index_t b = state.range(0);
+  Prng rng(3);
+  Matrix x(b, 64), w(64, 256), y(b, 256);
+  x.fill_normal(rng);
+  w.fill_normal(rng);
+  for (auto _ : state) {
+    gemm(Trans::kNo, Trans::kNo, b, 256, 64, 1.0f, x.data(), 64, w.data(),
+         256, 0.0f, y.data(), 256);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * b * 256 * 64 * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm_TallSkinny)->Arg(512)->Arg(4096)->MinTime(0.05);
+
+}  // namespace
+}  // namespace elrec
+
+BENCHMARK_MAIN();

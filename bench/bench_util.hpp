@@ -1,0 +1,63 @@
+// Shared formatting helpers for the benchmark executables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace elrec::benchutil {
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+/// Prints a simple fixed-width table: first row is the header.
+inline void print_table(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return;
+  std::vector<std::size_t> width(rows[0].size(), 0);
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::printf("  ");
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), rows[r][c].c_str());
+    }
+    std::printf("\n");
+    if (r == 0) {
+      std::printf("  ");
+      for (std::size_t c = 0; c < rows[r].size(); ++c) {
+        std::printf("%s  ", std::string(width[c], '-').c_str());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+inline std::string fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string fmt_bytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace elrec::benchutil

@@ -1,0 +1,81 @@
+// Shared helper grounding the simulator's input statistics in analytic
+// properties of the full-scale datasets.
+//
+// The end-to-end figures need unique-index and unique-prefix ratios at the
+// PAPER's table sizes (tens of millions of rows), which a scaled synthetic
+// run would overstate. For Zipf draws they have a closed form:
+//   E[#unique] = sum_r (1 - (1 - p_r)^B)
+// evaluated here with log-spaced rank sampling (exact within ~1%).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "sim/workload.hpp"
+
+namespace elrec::benchutil {
+
+/// Expected unique draws among B Zipf(s) draws over n items.
+inline double expected_unique_zipf(index_t n, double s, index_t batch) {
+  // Normalization: H_{n,s} via integral approximation for large n.
+  double h = 0.0;
+  index_t r = 1;
+  while (r <= n) {
+    // Sum exactly for the head, integrate for the tail.
+    if (r < 1000) {
+      h += std::pow(static_cast<double>(r), -s);
+      ++r;
+    } else {
+      break;
+    }
+  }
+  if (r <= n) {
+    if (std::abs(s - 1.0) < 1e-9) {
+      h += std::log(static_cast<double>(n) / (r - 0.5));
+    } else {
+      h += (std::pow(static_cast<double>(n) + 0.5, 1.0 - s) -
+            std::pow(r - 0.5, 1.0 - s)) /
+           (1.0 - s);
+    }
+  }
+
+  // E[unique] with log-spaced strata.
+  double unique = 0.0;
+  double lo = 1.0;
+  while (lo <= static_cast<double>(n)) {
+    const double hi = std::min(static_cast<double>(n) + 1.0, lo * 1.05 + 1.0);
+    const double mid = 0.5 * (lo + hi - 1.0);
+    const double count = hi - lo;
+    const double p = std::pow(mid, -s) / h;
+    unique += count * (1.0 - std::pow(1.0 - p, static_cast<double>(batch)));
+    lo = hi;
+  }
+  return unique;
+}
+
+/// Fills the measured ratios of `w` from the analytic Zipf expectations of
+/// `spec` at the workload's batch size (large tables only, which are the TT
+/// tables the ratios feed).
+inline void ground_workload_stats(DlrmWorkload& w, const DatasetSpec& spec) {
+  double uniq_sum = 0.0, prefix_sum = 0.0, occ_sum = 0.0;
+  for (index_t rows : spec.table_rows) {
+    if (rows < w.tt_rows_threshold) continue;
+    const double uniq = expected_unique_zipf(rows, spec.zipf_s, w.batch_size);
+    // Prefix population = rows / m3 (~ rows^(2/3)); prefixes of the unique
+    // rows follow the same Zipf head, so reuse the formula at that scale.
+    const TTShape shape = TTShape::balanced(rows, w.emb_dim, 3, w.tt_rank);
+    const index_t prefixes_total = shape.row_factor(0) * shape.row_factor(1);
+    const double prefixes = expected_unique_zipf(
+        prefixes_total, spec.zipf_s,
+        static_cast<index_t>(std::max(1.0, uniq)));
+    uniq_sum += uniq;
+    prefix_sum += std::min(prefixes, uniq);
+    occ_sum += static_cast<double>(w.batch_size);
+  }
+  if (occ_sum > 0.0 && uniq_sum > 0.0) {
+    w.unique_index_ratio = uniq_sum / occ_sum;
+    w.unique_prefix_ratio = prefix_sum / uniq_sum;
+  }
+}
+
+}  // namespace elrec::benchutil

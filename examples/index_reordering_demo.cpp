@@ -1,0 +1,63 @@
+// Locality-based index reordering (paper §IV) end to end: build the index
+// graph from training batches (Algorithm 2), detect communities (Louvain),
+// install the bijection, and measure how much TT prefix sharing improves.
+//
+//   $ ./index_reordering_demo
+#include <cstdio>
+
+#include "core/eff_tt_table.hpp"
+#include "data/synthetic.hpp"
+#include "reorder/bijection.hpp"
+
+using namespace elrec;
+
+int main() {
+  DatasetSpec spec;
+  spec.name = "reorder-demo";
+  spec.num_dense = 1;
+  spec.table_rows = {20000};
+  spec.num_samples = 1 << 20;
+  spec.zipf_s = 1.1;
+  spec.hot_ratio = 0.005;
+  spec.locality_groups = 16;
+  spec.locality_fraction = 0.7;
+
+  // Offline phase: harvest co-occurrence from training batches.
+  SyntheticDataset data(spec, 31);
+  ReorderPipeline pipeline(spec.table_rows[0], spec.hot_ratio, 7);
+  for (int b = 0; b < 128; ++b) {
+    pipeline.add_batch(data.next_batch(512).sparse[0].indices);
+  }
+  const BijectionResult bij = pipeline.finish();
+  std::printf("index graph -> %lld communities, modularity %.3f, %lld hot "
+              "indices pinned\n",
+              static_cast<long long>(bij.num_communities), bij.modularity,
+              static_cast<long long>(bij.num_hot));
+
+  // Online phase: same table with and without the bijection.
+  const TTShape shape = TTShape::balanced(spec.table_rows[0], 32, 3, 16);
+  Prng rng(5);
+  EffTTTable plain(spec.table_rows[0], shape, rng);
+  EffTTTable reordered(spec.table_rows[0], shape, rng);
+  reordered.set_index_bijection(bij.mapping);
+
+  index_t plain_prefixes = 0, reordered_prefixes = 0, uniques = 0;
+  Matrix out;
+  for (int b = 0; b < 30; ++b) {
+    const MiniBatch batch = data.next_batch(512);
+    plain.forward(batch.sparse[0], out);
+    plain_prefixes += plain.last_stats().unique_prefixes;
+    uniques += plain.last_stats().unique_rows;
+    reordered.forward(batch.sparse[0], out);
+    reordered_prefixes += reordered.last_stats().unique_prefixes;
+  }
+  std::printf("\nover 30 batches of 512 (avg %.0f unique rows/batch):\n",
+              static_cast<double>(uniques) / 30);
+  std::printf("  unique prefix products/batch without reordering: %.1f\n",
+              static_cast<double>(plain_prefixes) / 30);
+  std::printf("  unique prefix products/batch with    reordering: %.1f\n",
+              static_cast<double>(reordered_prefixes) / 30);
+  std::printf("  -> %.2fx fewer stage-1 GEMMs (more intermediate reuse)\n",
+              static_cast<double>(plain_prefixes) / reordered_prefixes);
+  return 0;
+}

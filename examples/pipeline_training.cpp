@@ -1,0 +1,68 @@
+// The full EL-Rec system (paper Fig. 9): Eff-TT tables on the worker, an
+// oversized table in host memory behind prefetch/gradient queues, and the
+// embedding cache repairing the pipeline's read-after-write hazard.
+//
+//   $ ./pipeline_training [num_batches] [queue_depth]
+//
+// Runs the same workload sequentially (queue depth 1) and pipelined and
+// shows that the loss trajectories are identical — the cache makes the
+// pipeline semantically invisible.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "pipeline/elrec_trainer.hpp"
+
+using namespace elrec;
+
+int main(int argc, char** argv) {
+  const index_t num_batches = argc > 1 ? std::atoll(argv[1]) : 150;
+  const index_t depth = argc > 2 ? std::atoll(argv[2]) : 4;
+
+  DatasetSpec spec;
+  spec.name = "pipeline-demo";
+  spec.num_dense = 4;
+  spec.table_rows = {30000, 5000, 512};  // host / device-TT / device-dense
+  spec.num_samples = 1 << 20;
+  spec.zipf_s = 1.15;
+
+  ElRecTrainerConfig cfg;
+  cfg.model.num_dense = spec.num_dense;
+  cfg.model.embedding_dim = 16;
+  cfg.model.bottom_hidden = {32};
+  cfg.model.top_hidden = {32};
+  cfg.placement = {TablePlacement::kHost, TablePlacement::kDeviceTT,
+                   TablePlacement::kDeviceDense};
+  cfg.tt_rank = 8;
+  cfg.lr = 0.05f;
+  cfg.seed = 11;
+
+  ElRecRunStats runs[2];
+  const index_t depths[2] = {1, depth};
+  for (int mode = 0; mode < 2; ++mode) {
+    cfg.queue_capacity = depths[mode];
+    ElRecTrainer trainer(cfg, spec);
+    SyntheticDataset data(spec, 99);
+    runs[mode] = trainer.train(data, num_batches, 256);
+    std::printf(
+        "%-22s batches=%lld  final_loss=%.4f  rows_patched=%lld  "
+        "cache_peak=%zu  wall=%.2fs\n",
+        mode == 0 ? "sequential (depth 1):" : "pipelined:",
+        static_cast<long long>(runs[mode].batches), runs[mode].final_loss,
+        static_cast<long long>(runs[mode].rows_patched),
+        runs[mode].cache_peak, runs[mode].wall_seconds);
+  }
+
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < runs[0].loss_curve.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::fabs(static_cast<double>(runs[0].loss_curve[i]) -
+                                  runs[1].loss_curve[i]));
+  }
+  std::printf("\nmax per-batch loss difference (RAW-conflict check): %.2e\n",
+              max_diff);
+  std::printf("the embedding cache patched %lld stale prefetched rows while\n"
+              "keeping the pipelined run numerically identical.\n",
+              static_cast<long long>(runs[1].rows_patched));
+  return 0;
+}

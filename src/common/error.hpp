@@ -1,0 +1,48 @@
+// Error-handling primitives shared by every EL-Rec module.
+//
+// ELREC_CHECK is always on and throws elrec::Error; ELREC_DCHECK compiles out
+// in release builds and is meant for hot loops (kernel inner bodies).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace elrec {
+
+/// Exception type thrown by all ELREC_CHECK failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ELREC_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace elrec
+
+/// Checked precondition; throws elrec::Error on failure. Usage:
+///   ELREC_CHECK(rows > 0, "matrix must be non-empty");
+#define ELREC_CHECK(cond, ...)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::elrec::detail::raise_check_failure(#cond, __FILE__, __LINE__,   \
+                                           ::std::string{__VA_ARGS__}); \
+    }                                                                   \
+  } while (0)
+
+#ifndef NDEBUG
+#define ELREC_DCHECK(cond, ...) ELREC_CHECK(cond, ##__VA_ARGS__)
+#else
+#define ELREC_DCHECK(cond, ...) \
+  do {                          \
+  } while (0)
+#endif

@@ -1,0 +1,101 @@
+// Minimal binary serialization for checkpoints.
+//
+// Format: little-endian POD fields and length-prefixed arrays, with a magic
+// tag per top-level object so mismatched files fail loudly. Used to persist
+// TT cores, embedding tables and whole DLRM models.
+#pragma once
+
+#include <cstdint>
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path)
+      : out_(path, std::ios::binary) {
+    ELREC_CHECK(out_.good(), "cannot open " + path + " for writing");
+  }
+
+  template <typename T>
+  void write_pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  void write_u64(std::uint64_t v) { write_pod(v); }
+  void write_i64(std::int64_t v) { write_pod(v); }
+  void write_f32(float v) { write_pod(v); }
+
+  void write_tag(const char tag[4]) { out_.write(tag, 4); }
+
+  template <typename T>
+  void write_array(const T* data, std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_u64(n);
+    out_.write(reinterpret_cast<const char*>(data),
+               static_cast<std::streamsize>(n * sizeof(T)));
+  }
+
+  template <typename T>
+  void write_vector(const std::vector<T>& v) {
+    write_array(v.data(), v.size());
+  }
+
+  void flush() {
+    out_.flush();
+    ELREC_CHECK(out_.good(), "write failed");
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path)
+      : in_(path, std::ios::binary) {
+    ELREC_CHECK(in_.good(), "cannot open " + path + " for reading");
+  }
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    in_.read(reinterpret_cast<char*>(&value), sizeof(T));
+    ELREC_CHECK(in_.good(), "unexpected end of file");
+    return value;
+  }
+
+  std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
+  std::int64_t read_i64() { return read_pod<std::int64_t>(); }
+  float read_f32() { return read_pod<float>(); }
+
+  void expect_tag(const char tag[4]) {
+    char buf[4];
+    in_.read(buf, 4);
+    ELREC_CHECK(in_.good() && std::equal(buf, buf + 4, tag),
+                "checkpoint tag mismatch — wrong or corrupt file");
+  }
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    const std::uint64_t n = read_u64();
+    ELREC_CHECK(n < (1ULL << 34), "implausible array length in checkpoint");
+    std::vector<T> v(static_cast<std::size_t>(n));
+    in_.read(reinterpret_cast<char*>(v.data()),
+             static_cast<std::streamsize>(n * sizeof(T)));
+    ELREC_CHECK(in_.good(), "unexpected end of file in array");
+    return v;
+  }
+
+ private:
+  std::ifstream in_;
+};
+
+}  // namespace elrec

@@ -1,0 +1,48 @@
+// Minimal fixed-size thread pool with a parallel_for helper.
+//
+// The compute kernels prefer OpenMP when available; the pool exists for the
+// pipeline runtime (long-lived server/worker roles) and for environments
+// where OpenMP is disabled.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace elrec {
+
+class ThreadPool {
+ public:
+  /// n_threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues fn; the returned future observes its completion/exception.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Runs fn(i) for i in [begin, end) across the pool, blocking until done.
+  /// Exceptions from any chunk are rethrown (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace elrec

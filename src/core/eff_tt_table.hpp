@@ -1,0 +1,154 @@
+// Eff-TT table — the paper's primary contribution (§III).
+//
+// A Tensor-Train embedding table (3 cores in the paper; any d >= 3 here,
+// with the reuse prefix spanning the first two cores) whose
+//  * forward pass deduplicates rows within the batch and shares the
+//    C1*C2 prefix products through a ReuseBuffer filled by one batched-GEMM
+//    launch (Algorithm 1), and
+//  * backward pass aggregates embedding gradients per *unique* row before
+//    touching TT cores (in-advance gradient aggregation) and applies SGD
+//    directly to the touched slices (fused TT-core update).
+//
+// Every optimization can be disabled independently through EffTTConfig; the
+// ablation benchmarks (Figs. 14/17/18) flip exactly one switch at a time.
+// An optional index bijection (§IV) remaps incoming indices before lookup.
+#pragma once
+
+#include <span>
+
+#include <optional>
+
+#include "core/pointer_prep.hpp"
+#include "core/reuse_buffer.hpp"
+#include "embed/embedding_table.hpp"
+#include "tensor/optimizer.hpp"
+#include "tt/tt_cores.hpp"
+
+namespace elrec {
+
+struct EffTTConfig {
+  bool intermediate_reuse = true;      // §III-A two-level result reuse
+  bool in_advance_aggregation = true;  // §III-B gradient aggregation
+  bool fused_update = true;            // §III-B fused TT-core update
+};
+
+class EffTTTable final : public IEmbeddingTable {
+ public:
+  EffTTTable(index_t num_rows, TTShape shape, Prng& rng,
+             EffTTConfig config = {}, float init_row_std = 0.01f);
+
+  /// Wraps pre-decomposed cores (e.g. from tt_svd).
+  EffTTTable(index_t num_rows, TTCores cores, EffTTConfig config = {});
+
+  index_t num_rows() const override { return num_rows_; }
+  index_t dim() const override { return cores_.shape().dim(); }
+
+  void forward(const IndexBatch& batch, Matrix& out) override;
+  void backward_and_update(const IndexBatch& batch, const Matrix& grad_out,
+                           float lr) override;
+
+  std::size_t parameter_bytes() const override {
+    return cores_.parameter_bytes();
+  }
+  std::string name() const override { return "EffTTTable"; }
+
+  /// Installs the §IV index bijection (original index -> new index). Must be
+  /// a permutation of [0, num_rows). Install before training starts: all
+  /// rows are equivalent at random init, so remapping is free.
+  void set_index_bijection(std::vector<index_t> mapping);
+  bool has_index_bijection() const { return !bijection_.empty(); }
+
+  TTCores& cores() { return cores_; }
+  const TTCores& cores() const { return cores_; }
+  const EffTTConfig& config() const { return config_; }
+
+  /// Switches the TT-core update rule (default plain SGD). The stateful
+  /// Adagrad variant stays fused: its accumulator is updated inside the
+  /// same touched-slice pass. Momentum is rejected (not inactive-safe).
+  void set_optimizer(OptimizerConfig config);
+
+  void visit_parameters(const ParameterVisitor& visit) override {
+    for (int k = 0; k < cores_.shape().num_cores(); ++k) {
+      visit(cores_.core(k).data(),
+            static_cast<std::size_t>(cores_.core(k).size()));
+    }
+    forward_cache_valid_ = false;  // callers may mutate through the visitor
+  }
+
+  struct Stats {
+    index_t total_indices = 0;     // occurrences in the last batch
+    index_t unique_rows = 0;       // after dedup
+    index_t unique_prefixes = 0;   // reuse-buffer slots used
+    std::size_t forward_gemms = 0;
+    std::size_t backward_gemms = 0;
+  };
+  const Stats& last_stats() const { return stats_; }
+
+ private:
+  // Applies the bijection (if any) producing the physical row list.
+  void remap_rows(const std::vector<index_t>& in, std::vector<index_t>& out) const;
+
+  // Fills prefix products for `rows` into reuse_buffer_ via Algorithm 1 +
+  // one batched GEMM; prep_ gets per-position slots.
+  void compute_prefix_products(std::span<const index_t> rows);
+
+  // Stage 2: extends each row's prefix product through the remaining cores
+  // into dst rows (dst row i <- rows[i]); batched-GEMM fast path for d == 3.
+  void compute_rows_from_prefixes(std::span<const index_t> rows, Matrix& dst);
+
+  // prod_{k >= 2} m_k — the divisor turning a row id into its prefix id.
+  index_t suffix_length() const;
+
+  // Chains cores 2..d-1 onto a prefix product; optionally records the
+  // intermediate prefixes for the backward pass.
+  void chain_suffix(index_t row, const float* p12, float* dst,
+                    std::vector<std::vector<float>>* chain,
+                    std::vector<float>& sa, std::vector<float>& sb) const;
+
+  // Full-recompute forward used when intermediate_reuse is off.
+  void forward_no_reuse(const IndexBatch& batch,
+                        const std::vector<index_t>& rows, Matrix& out);
+
+  // Gradient accumulation into the touched-slice buffers for one logical row
+  // with embedding gradient g (length dim). `p12` is its prefix product.
+  void accumulate_row_gradient(index_t row, const float* p12, const float* g);
+
+  // Zeroes (lazily) and returns the gradient block of slice `ik` of core k.
+  float* grad_slice(int k, index_t ik);
+
+  void apply_update(float lr);
+
+  index_t num_rows_ = 0;
+  EffTTConfig config_;
+  TTCores cores_;
+  std::vector<index_t> bijection_;
+
+  ReuseBuffer reuse_buffer_;
+  PointerPrepResult prep_;
+
+  // Forward state cached for the matching backward call.
+  std::vector<index_t> cached_rows_;       // remapped physical rows
+  UniqueIndexMap cached_unique_;
+  std::vector<index_t> unique_slots_;      // reuse-buffer slot per unique row
+  bool forward_cache_valid_ = false;
+
+  // Touched-slice gradient accumulators (allocated like the cores; only
+  // slices seen this batch are zeroed/updated).
+  std::vector<Matrix> core_grads_;
+  std::vector<std::vector<std::uint64_t>> slice_stamp_;
+  std::vector<std::vector<index_t>> touched_;
+  std::uint64_t grad_epoch_ = 0;
+
+  // Staging buffer used only by the UNFUSED update path to model TT-Rec's
+  // extra gradient copy.
+  std::vector<Matrix> unfused_staging_;
+  std::vector<OptimizerState> core_optimizers_;
+
+  Matrix unique_rows_buf_;   // unique embedding rows (forward)
+  Matrix grad_agg_buf_;      // aggregated per-unique-row gradients (backward)
+  std::vector<float> w_scratch_;  // per-row W = G * C3^T workspace
+
+  Stats stats_;
+};
+
+}  // namespace elrec

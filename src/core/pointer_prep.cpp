@@ -1,0 +1,51 @@
+#include "core/pointer_prep.hpp"
+
+namespace elrec {
+
+void prepare_prefix_pointers(const TTCores& cores,
+                             std::span<const index_t> rows, ReuseBuffer& buffer,
+                             PointerPrepResult& out) {
+  const TTShape& shape = cores.shape();
+  ELREC_CHECK(shape.num_cores() >= 3,
+              "Algorithm 1 reuse path needs at least 3 TT cores");
+  const index_t m2 = shape.row_factor(1);
+  // Everything after the first two cores divides out of the prefix id
+  // (generalizes the paper's "index / length_3" to d cores).
+  index_t suffix = 1;
+  for (int k = 2; k < shape.num_cores(); ++k) suffix *= shape.row_factor(k);
+
+  const std::size_t n = rows.size();
+  out.slot_of.resize(n);
+  out.ptr_a.resize(n);
+  out.ptr_b.resize(n);
+  out.ptr_c.resize(n);
+
+  buffer.begin_batch(static_cast<index_t>(n));
+  // Paper Algorithm 1 lines 2-10: each position derives its Buf_idx by
+  // dividing out the last core's length, checks Buf_flag, and fills the
+  // pointer triple only when it owns the computation. The claim is a serial
+  // scan here (the GPU version uses one thread per index with an atomic
+  // flag); the emitted pointer lists are identical.
+  for (std::size_t i = 0; i < n; ++i) {
+    const index_t row = rows[i];
+    const index_t prefix = row / suffix;  // Buf_idx = index / length_3
+    const auto [slot, first] = buffer.claim(prefix);
+    out.slot_of[i] = slot;
+    if (first) {
+      const index_t i1 = prefix / m2;
+      const index_t i2 = prefix % m2;
+      // A = C1[i1] viewed (n_1 x R_1); B = C2[i2] (R_1 x n_2 R_2);
+      // C = slot, (n_1 x n_2 R_2) == (n_1 n_2) x R_2.
+      out.ptr_a[i] = cores.slice(0, i1);
+      out.ptr_b[i] = cores.slice(1, i2);
+      out.ptr_c[i] = buffer.slot_data(slot);
+    } else {
+      out.ptr_a[i] = nullptr;
+      out.ptr_b[i] = nullptr;
+      out.ptr_c[i] = nullptr;  // Buf_flag hit: another position computes it
+    }
+  }
+  out.unique_prefixes = buffer.num_slots();
+}
+
+}  // namespace elrec

@@ -1,0 +1,33 @@
+// Algorithm 1: pointer preparation for the batched-GEMM reuse kernel.
+//
+// For every index in the batch, computes its prefix id (index / m_3), claims
+// a reuse-buffer slot, and emits the (Ptr_a, Ptr_b, Ptr_c) triples consumed
+// by batched_gemm(). Positions whose prefix product is computed by an
+// earlier position get Ptr_c == nullptr — exactly the Buf_flag skip of the
+// paper, which batched_gemm() honors.
+#pragma once
+
+#include <span>
+
+#include "core/reuse_buffer.hpp"
+#include "tt/tt_cores.hpp"
+
+namespace elrec {
+
+struct PointerPrepResult {
+  // Per input position: the reuse-buffer slot holding its prefix product.
+  std::vector<index_t> slot_of;
+  // Pointer triples for one batched-GEMM launch computing C1[i1] * C2[i2].
+  // ptr_c[i] == nullptr marks a skipped (reused) product.
+  std::vector<const float*> ptr_a;
+  std::vector<const float*> ptr_b;
+  std::vector<float*> ptr_c;
+  index_t unique_prefixes = 0;
+};
+
+/// Runs Algorithm 1 for a 3-core TT table. `rows` are the (already
+/// reordered) embedding row indices of the batch.
+void prepare_prefix_pointers(const TTCores& cores, std::span<const index_t> rows,
+                             ReuseBuffer& buffer, PointerPrepResult& out);
+
+}  // namespace elrec

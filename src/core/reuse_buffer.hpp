@@ -1,0 +1,75 @@
+// Reuse buffer for batch-level intermediate-result sharing (paper §III-A).
+//
+// Holds one slot per unique (i_1, i_2) prefix seen in the current batch; slot
+// s stores the product C1[i1] * C2[i2] as an (n_1 * n_2) x R_2 row-major
+// block. Slots are recycled every batch; the epoch-stamped claim array lets
+// the pointer-preparation step detect first occurrences without clearing
+// O(m_1 * m_2) flags per batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+class ReuseBuffer {
+ public:
+  /// num_prefixes = m_1 * m_2 (all possible prefix ids);
+  /// slot_floats = n_1 * n_2 * R_2 (size of one intermediate product).
+  ReuseBuffer(index_t num_prefixes, index_t slot_floats)
+      : slot_floats_(slot_floats),
+        stamp_(static_cast<std::size_t>(num_prefixes), 0),
+        slot_of_prefix_(static_cast<std::size_t>(num_prefixes), -1) {}
+
+  /// Starts a new batch: invalidates all previous claims in O(1) and
+  /// guarantees capacity for `max_slots` slots. Capacity MUST be reserved
+  /// here, before any slot_data() pointer is handed out — growing the
+  /// backing store later would dangle the pointer lists already prepared
+  /// for the batched-GEMM launch.
+  void begin_batch(index_t max_slots) {
+    ++epoch_;
+    num_slots_ = 0;
+    const auto needed =
+        static_cast<std::size_t>(max_slots) * static_cast<std::size_t>(slot_floats_);
+    if (storage_.size() < needed) storage_.resize(needed);
+  }
+
+  /// Claims the slot for `prefix`. Returns {slot, true} on first claim this
+  /// batch (the caller must schedule the GEMM that fills it), {slot, false}
+  /// when another position already claimed it (reuse — paper's Buf_flag hit).
+  std::pair<index_t, bool> claim(index_t prefix) {
+    auto& stamp = stamp_[static_cast<std::size_t>(prefix)];
+    if (stamp == epoch_) {
+      return {slot_of_prefix_[static_cast<std::size_t>(prefix)], false};
+    }
+    stamp = epoch_;
+    const index_t slot = num_slots_++;
+    ELREC_CHECK(static_cast<std::size_t>(slot + 1) * slot_floats_ <=
+                    storage_.size(),
+                "more claims than begin_batch() reserved");
+    slot_of_prefix_[static_cast<std::size_t>(prefix)] = slot;
+    return {slot, true};
+  }
+
+  float* slot_data(index_t slot) {
+    return storage_.data() + static_cast<std::size_t>(slot) * slot_floats_;
+  }
+  const float* slot_data(index_t slot) const {
+    return storage_.data() + static_cast<std::size_t>(slot) * slot_floats_;
+  }
+
+  index_t num_slots() const { return num_slots_; }
+  index_t slot_floats() const { return slot_floats_; }
+
+ private:
+  index_t slot_floats_;
+  std::uint64_t epoch_ = 0;
+  index_t num_slots_ = 0;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<index_t> slot_of_prefix_;
+  std::vector<float> storage_;
+};
+
+}  // namespace elrec

@@ -1,0 +1,118 @@
+#include "data/criteo_tsv.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+CriteoTsvReader::CriteoTsvReader(const std::string& path,
+                                 CriteoTsvOptions options)
+    : options_(std::move(options)) {
+  auto file = std::make_unique<std::ifstream>(path);
+  ELREC_CHECK(file->good(), "cannot open " + path);
+  stream_ = std::move(file);
+  ELREC_CHECK(!options_.table_rows.empty(), "need at least one table");
+}
+
+CriteoTsvReader::CriteoTsvReader(std::unique_ptr<std::istream> stream,
+                                 CriteoTsvOptions options)
+    : options_(std::move(options)), stream_(std::move(stream)) {
+  ELREC_CHECK(stream_ != nullptr, "null stream");
+  ELREC_CHECK(!options_.table_rows.empty(), "need at least one table");
+}
+
+index_t CriteoTsvReader::hash_categorical(std::string_view value,
+                                          index_t modulus) {
+  // FNV-1a over the raw bytes; stable across runs and platforms.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : value) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<index_t>(h % static_cast<std::uint64_t>(modulus));
+}
+
+bool CriteoTsvReader::parse_line(const std::string& line, float* dense,
+                                 std::vector<index_t>& cats,
+                                 float* label) const {
+  const auto num_tables = static_cast<index_t>(options_.table_rows.size());
+  cats.clear();
+  index_t field = 0;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t tab = line.find('\t', pos);
+    const std::size_t end = tab == std::string::npos ? line.size() : tab;
+    const std::string_view token(line.data() + pos, end - pos);
+
+    if (field == 0) {
+      if (token != "0" && token != "1") return false;
+      *label = token == "1" ? 1.0f : 0.0f;
+    } else if (field <= options_.num_dense) {
+      float v = 0.0f;
+      if (!token.empty()) {
+        char* parse_end = nullptr;
+        v = std::strtof(std::string(token).c_str(), &parse_end);
+        if (parse_end == nullptr || *parse_end != '\0') return false;
+      }
+      if (options_.log_transform_dense) {
+        v = std::log1p(std::max(v, 0.0f));
+      }
+      dense[field - 1] = v;
+    } else if (field <= options_.num_dense + num_tables) {
+      const index_t t = field - options_.num_dense - 1;
+      // Empty categorical -> reserved bucket 0.
+      cats.push_back(token.empty()
+                         ? 0
+                         : hash_categorical(
+                               token,
+                               options_.table_rows[static_cast<std::size_t>(t)]));
+    } else {
+      return false;  // too many fields
+    }
+    ++field;
+    if (tab == std::string::npos) break;
+    pos = tab + 1;
+  }
+  return field == 1 + options_.num_dense + num_tables;
+}
+
+index_t CriteoTsvReader::next_batch(index_t batch_size, MiniBatch& out) {
+  const auto num_tables = static_cast<index_t>(options_.table_rows.size());
+  std::vector<float> dense_rows;
+  std::vector<std::vector<index_t>> cats(static_cast<std::size_t>(num_tables));
+  out.labels.clear();
+
+  std::string line;
+  std::vector<index_t> line_cats;
+  std::vector<float> line_dense(static_cast<std::size_t>(options_.num_dense));
+  while (static_cast<index_t>(out.labels.size()) < batch_size &&
+         std::getline(*stream_, line)) {
+    float label = 0.0f;
+    if (!parse_line(line, line_dense.data(), line_cats, &label)) {
+      ++skipped_;
+      continue;
+    }
+    dense_rows.insert(dense_rows.end(), line_dense.begin(), line_dense.end());
+    for (index_t t = 0; t < num_tables; ++t) {
+      cats[static_cast<std::size_t>(t)].push_back(
+          line_cats[static_cast<std::size_t>(t)]);
+    }
+    out.labels.push_back(label);
+  }
+
+  const auto n = static_cast<index_t>(out.labels.size());
+  out.dense.resize(n, options_.num_dense);
+  std::copy(dense_rows.begin(), dense_rows.end(), out.dense.data());
+  out.sparse.clear();
+  for (index_t t = 0; t < num_tables; ++t) {
+    out.sparse.push_back(IndexBatch::one_per_sample(
+        std::move(cats[static_cast<std::size_t>(t)])));
+  }
+  return n;
+}
+
+}  // namespace elrec

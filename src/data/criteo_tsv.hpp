@@ -1,0 +1,53 @@
+// Reader for the Criteo click-log TSV format (Kaggle / Terabyte days).
+//
+// Each line: label \t 13 integer features \t 26 hex categorical features;
+// missing fields are empty. This repository's experiments run on synthetic
+// data (the logs are not redistributable), but the reader lets a user with
+// the real files train on them: integers are log-transformed the standard
+// way, categoricals hash into each table's cardinality.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "data/dataset_spec.hpp"
+#include "embed/minibatch.hpp"
+
+namespace elrec {
+
+struct CriteoTsvOptions {
+  index_t num_dense = 13;
+  std::vector<index_t> table_rows;  // hashing moduli, one per categorical
+  bool log_transform_dense = true;  // x -> log(1 + max(x, 0))
+};
+
+class CriteoTsvReader {
+ public:
+  /// Reads from a file. Throws if the file cannot be opened.
+  CriteoTsvReader(const std::string& path, CriteoTsvOptions options);
+
+  /// Reads from an arbitrary stream (used by tests). Takes ownership.
+  CriteoTsvReader(std::unique_ptr<std::istream> stream,
+                  CriteoTsvOptions options);
+
+  /// Fills the next batch with up to `batch_size` samples; returns the
+  /// number of samples read (0 at end of stream). Short batches are valid.
+  index_t next_batch(index_t batch_size, MiniBatch& out);
+
+  /// Lines skipped because they were malformed.
+  index_t skipped_lines() const { return skipped_; }
+
+  /// The stable hash used for categorical values (exposed for tests).
+  static index_t hash_categorical(std::string_view value, index_t modulus);
+
+ private:
+  bool parse_line(const std::string& line, float* dense,
+                  std::vector<index_t>& cats, float* label) const;
+
+  CriteoTsvOptions options_;
+  std::unique_ptr<std::istream> stream_;
+  index_t skipped_ = 0;
+};
+
+}  // namespace elrec

@@ -1,0 +1,50 @@
+// Dataset specifications mirroring the paper's three benchmarks (Table II).
+//
+// The real Criteo/Avazu logs are not available offline, so experiments run
+// on synthetic data whose *structural* properties match: per-table
+// cardinalities (full scale for footprint math, scaled down for actual
+// training), one categorical index per feature per sample, power-law index
+// popularity, and intra-batch locality (users behave in sessions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+struct DatasetSpec {
+  std::string name;
+  index_t num_dense = 13;
+  std::vector<index_t> table_rows;  // categorical cardinalities
+  index_t num_samples = 0;          // nominal dataset size (Table II)
+
+  // Synthetic-generator knobs.
+  index_t multi_hot_max = 1;       // bag sizes drawn uniform in [1, max]
+  double zipf_s = 1.05;            // power-law exponent (Fig. 4a skew)
+  double hot_ratio = 0.001;        // fraction of rows considered "hot"
+  index_t locality_groups = 64;    // session groups over the cold region
+  double locality_fraction = 0.5;  // per-sample prob. of drawing in-session
+  double label_positive_rate = 0.25;
+
+  index_t num_tables() const { return static_cast<index_t>(table_rows.size()); }
+  index_t total_rows() const;
+
+  /// Embedding-table footprint in bytes for a dense table of `dim` floats.
+  std::size_t embedding_bytes(index_t dim) const;
+
+  /// Copy with every cardinality divided by `factor` (min 8 rows) and the
+  /// sample count divided likewise — used to make training runs tractable.
+  DatasetSpec scaled(index_t factor) const;
+};
+
+/// The paper's three datasets with published per-table cardinalities.
+DatasetSpec criteo_kaggle_spec();
+DatasetSpec criteo_terabyte_spec();
+DatasetSpec avazu_spec();
+
+/// All three, in the order the paper's figures use.
+std::vector<DatasetSpec> paper_dataset_specs();
+
+}  // namespace elrec

@@ -1,0 +1,56 @@
+#include "data/stats.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "embed/index_batch.hpp"
+
+namespace elrec {
+
+std::vector<double> cumulative_access_share(SyntheticDataset& data, index_t t,
+                                            const std::vector<double>& fractions,
+                                            index_t num_draws,
+                                            index_t batch_size) {
+  std::unordered_map<index_t, index_t> counts;
+  index_t drawn = 0;
+  while (drawn < num_draws) {
+    const MiniBatch batch = data.next_batch(batch_size);
+    for (index_t idx : batch.sparse[static_cast<std::size_t>(t)].indices) {
+      ++counts[idx];
+      ++drawn;
+    }
+  }
+  std::vector<index_t> freq;
+  freq.reserve(counts.size());
+  for (const auto& [idx, c] : counts) freq.push_back(c);
+  std::sort(freq.begin(), freq.end(), std::greater<>());
+
+  const index_t table_rows =
+      data.spec().table_rows[static_cast<std::size_t>(t)];
+  std::vector<double> out;
+  out.reserve(fractions.size());
+  for (double f : fractions) {
+    const auto top = static_cast<std::size_t>(
+        std::max(1.0, f * static_cast<double>(table_rows)));
+    index_t acc = 0;
+    for (std::size_t i = 0; i < std::min(top, freq.size()); ++i) acc += freq[i];
+    out.push_back(static_cast<double>(acc) / static_cast<double>(drawn));
+  }
+  return out;
+}
+
+double avg_unique_indices_per_batch(SyntheticDataset& data, index_t t,
+                                    index_t batch_size, index_t num_batches) {
+  ELREC_CHECK(num_batches > 0, "need at least one batch");
+  double total = 0.0;
+  for (index_t b = 0; b < num_batches; ++b) {
+    const MiniBatch batch = data.next_batch(batch_size);
+    const auto umap = build_unique_index_map(
+        batch.sparse[static_cast<std::size_t>(t)].indices);
+    total += static_cast<double>(umap.unique.size());
+  }
+  return total / static_cast<double>(num_batches);
+}
+
+}  // namespace elrec

@@ -1,0 +1,23 @@
+// Dataset statistics reproducing paper Fig. 4.
+#pragma once
+
+#include <vector>
+
+#include "data/synthetic.hpp"
+
+namespace elrec {
+
+/// Fig. 4a: cumulative access share of the hottest rows. Returns, for each
+/// requested top-fraction (e.g. 0.01 = top 1% of rows), the fraction of all
+/// accesses they receive, measured over `num_draws` sampled indices of
+/// table `t`.
+std::vector<double> cumulative_access_share(SyntheticDataset& data, index_t t,
+                                            const std::vector<double>& fractions,
+                                            index_t num_draws,
+                                            index_t batch_size = 4096);
+
+/// Fig. 4b: average number of unique indices per batch for one table.
+double avg_unique_indices_per_batch(SyntheticDataset& data, index_t t,
+                                    index_t batch_size, index_t num_batches);
+
+}  // namespace elrec

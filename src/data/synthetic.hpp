@@ -1,0 +1,56 @@
+// Synthetic DLRM training stream.
+//
+// Generates mini-batches whose statistics match §II-C of the paper:
+//  * per-table index popularity is Zipf (Fig. 4a),
+//  * batches contain many repeated indices (Fig. 4b), and
+//  * indices co-occur in time-local "sessions" (§IV's local information),
+//    produced by drawing part of each batch from a slowly rotating group of
+//    cold indices.
+// Labels come from a hidden teacher model (hash-derived per-row scores plus
+// a dense linear term through a logistic link), so a DLRM can genuinely
+// learn and accuracy comparisons (Table IV) are meaningful.
+#pragma once
+
+#include "common/prng.hpp"
+#include "data/dataset_spec.hpp"
+#include "data/zipf.hpp"
+#include "embed/minibatch.hpp"
+
+namespace elrec {
+
+class SyntheticDataset {
+ public:
+  SyntheticDataset(DatasetSpec spec, std::uint64_t seed);
+
+  const DatasetSpec& spec() const { return spec_; }
+
+  /// Generates the next training batch (the stream is infinite; num_samples
+  /// of the spec is only the nominal epoch length).
+  MiniBatch next_batch(index_t batch_size);
+
+  /// Deterministic evaluation set: same generator, fixed fork of the seed.
+  MiniBatch eval_batch(index_t batch_size, std::uint64_t salt = 0) const;
+
+  const ZipfSampler& sampler(index_t table) const {
+    return samplers_[static_cast<std::size_t>(table)];
+  }
+
+  /// The teacher's hidden affinity score for (table, row); exposed so tests
+  /// can verify label structure.
+  float teacher_score(index_t table, index_t row) const;
+
+ private:
+  MiniBatch make_batch(index_t batch_size, Prng& rng, index_t session) const;
+  index_t draw_index(index_t table, Prng& rng, index_t session) const;
+  float label_logit(const float* dense, const std::vector<index_t>& idx) const;
+
+  DatasetSpec spec_;
+  Prng rng_;
+  std::uint64_t teacher_seed_;
+  std::vector<ZipfSampler> samplers_;
+  std::vector<float> dense_teacher_;  // teacher weights for dense features
+  float teacher_bias_ = 0.0f;
+  index_t batches_served_ = 0;
+};
+
+}  // namespace elrec

@@ -1,0 +1,47 @@
+#include "data/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+ZipfSampler::ZipfSampler(index_t n, double s, Prng& rng, bool permute)
+    : s_(s) {
+  ELREC_CHECK(n > 0, "ZipfSampler needs at least one item");
+  cdf_.resize(static_cast<std::size_t>(n));
+  double acc = 0.0;
+  for (index_t r = 0; r < n; ++r) {
+    acc += std::pow(static_cast<double>(r + 1), -s);
+    cdf_[static_cast<std::size_t>(r)] = acc;
+  }
+  const double inv_total = 1.0 / acc;
+  for (auto& v : cdf_) v *= inv_total;
+  cdf_.back() = 1.0;  // guard against rounding
+
+  index_of_rank_.resize(static_cast<std::size_t>(n));
+  std::iota(index_of_rank_.begin(), index_of_rank_.end(), index_t{0});
+  if (permute) shuffle(index_of_rank_, rng);
+  rank_of_.resize(static_cast<std::size_t>(n));
+  for (index_t r = 0; r < n; ++r) {
+    rank_of_[static_cast<std::size_t>(index_of_rank_[static_cast<std::size_t>(r)])] = r;
+  }
+}
+
+index_t ZipfSampler::sample(Prng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const index_t rank = static_cast<index_t>(it - cdf_.begin());
+  return index_of_rank_[static_cast<std::size_t>(
+      std::min<index_t>(rank, num_items() - 1))];
+}
+
+double ZipfSampler::top_rank_mass(index_t k) const {
+  if (k <= 0) return 0.0;
+  k = std::min<index_t>(k, num_items());
+  return cdf_[static_cast<std::size_t>(k - 1)];
+}
+
+}  // namespace elrec

@@ -1,0 +1,48 @@
+// Zipf (power-law) index sampling.
+//
+// DLRM sparse indices follow a power-law access distribution (paper §II-C,
+// Fig. 4a); ZipfSampler reproduces it. Rank r (0-based) has probability
+// proportional to 1 / (r + 1)^s. A per-table random permutation detaches
+// popularity from index order, as in real logs where the hottest item is not
+// item 0.
+#pragma once
+
+#include <vector>
+
+#include "common/prng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+class ZipfSampler {
+ public:
+  /// n items, exponent s (s ~ 0.9-1.2 for CTR logs). When permute is true
+  /// the rank->index mapping is shuffled with `rng`.
+  ZipfSampler(index_t n, double s, Prng& rng, bool permute = true);
+
+  index_t num_items() const { return static_cast<index_t>(cdf_.size()); }
+  double exponent() const { return s_; }
+
+  /// Draws one index.
+  index_t sample(Prng& rng) const;
+
+  /// Popularity rank of an index (0 = hottest).
+  index_t rank_of(index_t index) const {
+    return rank_of_[static_cast<std::size_t>(index)];
+  }
+  /// Index holding popularity rank r.
+  index_t index_at_rank(index_t r) const {
+    return index_of_rank_[static_cast<std::size_t>(r)];
+  }
+
+  /// Probability mass of the top `k` ranks (analytic Fig. 4a curve).
+  double top_rank_mass(index_t k) const;
+
+ private:
+  double s_;
+  std::vector<double> cdf_;           // over ranks
+  std::vector<index_t> index_of_rank_;
+  std::vector<index_t> rank_of_;
+};
+
+}  // namespace elrec

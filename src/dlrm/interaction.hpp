@@ -1,0 +1,42 @@
+// DLRM feature-interaction layer (paper Fig. 2).
+//
+// Takes F feature vectors per sample (the bottom-MLP output plus one pooled
+// embedding per sparse feature, all of dimension d), computes the dot
+// product of every unordered pair, and concatenates the results with the
+// bottom-MLP output: out = [x_dense | <f_i, f_j> for i < j].
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+class FeatureInteraction {
+ public:
+  /// num_features counts the dense feature, so it is 1 + #embedding tables.
+  FeatureInteraction(index_t num_features, index_t dim);
+
+  index_t num_features() const { return num_features_; }
+  index_t dim() const { return dim_; }
+  /// dim + F*(F-1)/2.
+  index_t output_dim() const {
+    return dim_ + num_features_ * (num_features_ - 1) / 2;
+  }
+
+  /// features[0] is the dense (bottom-MLP) feature; features[t] for t >= 1
+  /// the pooled embedding of table t-1. Each is (B x dim). out resized to
+  /// (B x output_dim). Inputs are cached for backward.
+  void forward(const std::vector<const Matrix*>& features, Matrix& out);
+
+  /// grads[f] receives d(loss)/d(features[f]), resized to (B x dim).
+  void backward(const Matrix& grad_out, std::vector<Matrix>& grads) const;
+
+ private:
+  index_t num_features_;
+  index_t dim_;
+  Matrix stacked_;  // cached (B * F x dim) feature stack
+  index_t cached_batch_ = 0;
+};
+
+}  // namespace elrec

@@ -1,0 +1,40 @@
+#include "dlrm/loss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/vector_ops.hpp"
+
+namespace elrec {
+
+float bce_with_logits_loss(const Matrix& logits,
+                           std::span<const float> labels) {
+  ELREC_CHECK(logits.cols() == 1 &&
+                  logits.rows() == static_cast<index_t>(labels.size()),
+              "logits must be (B x 1) matching labels");
+  double total = 0.0;
+  for (index_t i = 0; i < logits.rows(); ++i) {
+    const double z = logits.at(i, 0);
+    const double y = labels[static_cast<std::size_t>(i)];
+    // max(z,0) - z*y + log(1 + exp(-|z|)) — stable for both signs.
+    total += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::fabs(z)));
+  }
+  return static_cast<float>(total / static_cast<double>(logits.rows()));
+}
+
+void bce_with_logits_backward(const Matrix& logits,
+                              std::span<const float> labels, Matrix& grad) {
+  ELREC_CHECK(logits.cols() == 1 &&
+                  logits.rows() == static_cast<index_t>(labels.size()),
+              "logits must be (B x 1) matching labels");
+  const index_t b = logits.rows();
+  grad.resize(b, 1);
+  const float inv_b = 1.0f / static_cast<float>(b);
+  for (index_t i = 0; i < b; ++i) {
+    grad.at(i, 0) =
+        (sigmoid(logits.at(i, 0)) - labels[static_cast<std::size_t>(i)]) *
+        inv_b;
+  }
+}
+
+}  // namespace elrec

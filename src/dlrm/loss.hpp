@@ -1,0 +1,18 @@
+// Binary cross-entropy with logits — the DLRM CTR training loss.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+/// Mean BCE loss of logits (B x 1) against labels in {0, 1}.
+/// Numerically stable log-sum-exp formulation.
+float bce_with_logits_loss(const Matrix& logits, std::span<const float> labels);
+
+/// d(mean BCE)/d(logit) = (sigmoid(z) - y) / B, written to grad (B x 1).
+void bce_with_logits_backward(const Matrix& logits,
+                              std::span<const float> labels, Matrix& grad);
+
+}  // namespace elrec

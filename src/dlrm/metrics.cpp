@@ -1,0 +1,57 @@
+#include "dlrm/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+double binary_accuracy(std::span<const float> probs,
+                       std::span<const float> labels) {
+  ELREC_CHECK(probs.size() == labels.size() && !probs.empty(),
+              "probs/labels size mismatch");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const bool pred = probs[i] >= 0.5f;
+    const bool truth = labels[i] >= 0.5f;
+    if (pred == truth) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(probs.size());
+}
+
+double roc_auc(std::span<const float> scores, std::span<const float> labels) {
+  ELREC_CHECK(scores.size() == labels.size() && !scores.empty(),
+              "scores/labels size mismatch");
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  // Midranks for tied scores.
+  std::vector<double> rank(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mid = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t t = i; t <= j; ++t) rank[order[t]] = mid;
+    i = j + 1;
+  }
+
+  double pos_rank_sum = 0.0;
+  std::size_t num_pos = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (labels[t] >= 0.5f) {
+      pos_rank_sum += rank[t];
+      ++num_pos;
+    }
+  }
+  const std::size_t num_neg = n - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;  // degenerate
+  return (pos_rank_sum - static_cast<double>(num_pos) * (num_pos + 1) / 2.0) /
+         (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+}  // namespace elrec

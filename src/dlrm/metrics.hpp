@@ -1,0 +1,35 @@
+// Classification metrics used by the accuracy experiments (Table IV).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace elrec {
+
+/// Fraction of predictions (probability >= 0.5) matching binary labels.
+double binary_accuracy(std::span<const float> probs,
+                       std::span<const float> labels);
+
+/// Area under the ROC curve (rank-based; ties handled by midrank).
+double roc_auc(std::span<const float> scores, std::span<const float> labels);
+
+/// Running mean helper for loss curves.
+class RunningMean {
+ public:
+  void add(double v) {
+    sum_ += v;
+    ++n_;
+  }
+  double mean() const { return n_ > 0 ? sum_ / static_cast<double>(n_) : 0.0; }
+  std::size_t count() const { return n_; }
+  void reset() {
+    sum_ = 0.0;
+    n_ = 0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace elrec

@@ -1,0 +1,38 @@
+#include "dlrm/model_checkpoint.hpp"
+
+#include "common/serialize.hpp"
+
+namespace elrec {
+
+namespace {
+constexpr char kTag[4] = {'E', 'L', 'M', '1'};
+}
+
+void save_dlrm_model(DlrmModel& model, const std::string& path) {
+  BinaryWriter w(path);
+  w.write_tag(kTag);
+  // First pass: count buffers.
+  std::uint64_t count = 0;
+  model.visit_parameters([&](float*, std::size_t) { ++count; });
+  w.write_u64(count);
+  model.visit_parameters(
+      [&](float* p, std::size_t n) { w.write_array(p, n); });
+  w.flush();
+}
+
+void load_dlrm_model(DlrmModel& model, const std::string& path) {
+  BinaryReader r(path);
+  r.expect_tag(kTag);
+  std::uint64_t count = 0;
+  model.visit_parameters([&](float*, std::size_t) { ++count; });
+  const std::uint64_t stored = r.read_u64();
+  ELREC_CHECK(stored == count,
+              "checkpoint buffer count mismatch — different model config");
+  model.visit_parameters([&](float* p, std::size_t n) {
+    const auto values = r.read_vector<float>();
+    ELREC_CHECK(values.size() == n, "checkpoint buffer size mismatch");
+    std::copy(values.begin(), values.end(), p);
+  });
+}
+
+}  // namespace elrec

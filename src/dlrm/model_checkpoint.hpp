@@ -1,0 +1,20 @@
+// Whole-model checkpointing via parameter visitation.
+//
+// Saves/restores every float parameter buffer of a DlrmModel (MLPs + all
+// embedding tables) in visitation order. The model must be reconstructed
+// with the same configuration before loading; buffer count and sizes are
+// verified.
+#pragma once
+
+#include <string>
+
+#include "dlrm/dlrm_model.hpp"
+
+namespace elrec {
+
+void save_dlrm_model(DlrmModel& model, const std::string& path);
+
+/// Restores parameters into an already-constructed, shape-identical model.
+void load_dlrm_model(DlrmModel& model, const std::string& path);
+
+}  // namespace elrec

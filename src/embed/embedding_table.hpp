@@ -1,0 +1,53 @@
+// Abstract embedding-table interface.
+//
+// This is the "drop-in replacement" seam the paper describes: DLRM is built
+// against IEmbeddingTable, and any of {dense EmbeddingBag, TT-Rec-style
+// TTTable, EL-Rec EffTTTable} plugs in without touching model code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "embed/index_batch.hpp"
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+/// Callback over a table's float parameter buffers (used by data-parallel
+/// parameter averaging and checkpointing).
+using ParameterVisitor = std::function<void(float*, std::size_t)>;
+
+class IEmbeddingTable {
+ public:
+  virtual ~IEmbeddingTable() = default;
+
+  /// Number of logical rows (vocabulary size).
+  virtual index_t num_rows() const = 0;
+
+  /// Embedding dimension.
+  virtual index_t dim() const = 0;
+
+  /// Sum-pooled lookup: out is resized to (batch_size x dim).
+  virtual void forward(const IndexBatch& batch, Matrix& out) = 0;
+
+  /// Applies gradients for the most recent forward. grad_out is
+  /// (batch_size x dim); the table updates its parameters with plain SGD at
+  /// learning rate `lr` (the paper fuses the optimizer into the backward
+  /// kernel, so the interface does too).
+  virtual void backward_and_update(const IndexBatch& batch,
+                                   const Matrix& grad_out, float lr) = 0;
+
+  /// Bytes of trainable parameters (the Table III footprint metric).
+  virtual std::size_t parameter_bytes() const = 0;
+
+  /// Invokes `visit` on every float parameter buffer, in a deterministic
+  /// order. Implementations whose parameters are not plain floats (e.g.
+  /// quantized tables) may throw.
+  virtual void visit_parameters(const ParameterVisitor& visit) = 0;
+
+  /// Human-readable implementation name for reports.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace elrec

@@ -1,0 +1,56 @@
+#include "embed/hashed_embedding_bag.hpp"
+
+namespace elrec {
+
+HashedEmbeddingBag::HashedEmbeddingBag(index_t num_rows, index_t hash_rows,
+                                       index_t dim, Prng& rng, float init_std)
+    : num_rows_(num_rows) {
+  ELREC_CHECK(num_rows > 0 && hash_rows > 0 && dim > 0,
+              "table must be non-empty");
+  ELREC_CHECK(hash_rows <= num_rows,
+              "hashing only makes sense when compressing");
+  weights_.resize(hash_rows, dim);
+  if (init_std > 0.0f) weights_.fill_normal(rng, 0.0f, init_std);
+}
+
+index_t HashedEmbeddingBag::hash_index(index_t logical) const {
+  // splitmix64 finalizer — uniform spread of consecutive ids.
+  auto x = static_cast<std::uint64_t>(logical) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<index_t>(x % static_cast<std::uint64_t>(weights_.rows()));
+}
+
+void HashedEmbeddingBag::forward(const IndexBatch& batch, Matrix& out) {
+  batch.validate(num_rows_);
+  const index_t b = batch.batch_size();
+  const index_t d = dim();
+  out.resize(b, d);
+  for (index_t s = 0; s < b; ++s) {
+    float* dst = out.row(s);
+    for (index_t p = batch.bag_begin(s); p < batch.bag_end(s); ++p) {
+      const float* src = weights_.row(
+          hash_index(batch.indices[static_cast<std::size_t>(p)]));
+      for (index_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
+  }
+}
+
+void HashedEmbeddingBag::backward_and_update(const IndexBatch& batch,
+                                             const Matrix& grad_out,
+                                             float lr) {
+  ELREC_CHECK(grad_out.rows() == batch.batch_size() && grad_out.cols() == dim(),
+              "grad_out shape mismatch");
+  const index_t d = dim();
+  for (index_t s = 0; s < batch.batch_size(); ++s) {
+    const float* g = grad_out.row(s);
+    for (index_t p = batch.bag_begin(s); p < batch.bag_end(s); ++p) {
+      float* w = weights_.row(
+          hash_index(batch.indices[static_cast<std::size_t>(p)]));
+      for (index_t j = 0; j < d; ++j) w[j] -= lr * g[j];
+    }
+  }
+}
+
+}  // namespace elrec

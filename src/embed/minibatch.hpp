@@ -1,0 +1,19 @@
+// One training mini-batch of DLRM inputs.
+#pragma once
+
+#include <vector>
+
+#include "embed/index_batch.hpp"
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+struct MiniBatch {
+  Matrix dense;                   // (B x num_dense) continuous features
+  std::vector<IndexBatch> sparse; // one IndexBatch per embedding table
+  std::vector<float> labels;      // B binary click labels
+
+  index_t batch_size() const { return dense.rows(); }
+};
+
+}  // namespace elrec

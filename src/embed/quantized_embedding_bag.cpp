@@ -1,0 +1,81 @@
+#include "embed/quantized_embedding_bag.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace elrec {
+
+QuantizedEmbeddingBag::QuantizedEmbeddingBag(index_t num_rows, index_t dim,
+                                             Prng& rng, float init_std)
+    : num_rows_(num_rows), dim_(dim) {
+  ELREC_CHECK(num_rows > 0 && dim > 0, "table must be non-empty");
+  codes_.assign(static_cast<std::size_t>(num_rows) * dim, 0);
+  scales_.assign(static_cast<std::size_t>(num_rows), 0.0f);
+  std::vector<float> row(static_cast<std::size_t>(dim));
+  for (index_t r = 0; r < num_rows; ++r) {
+    for (auto& v : row) v = static_cast<float>(rng.normal(0.0, init_std));
+    quantize_row(r, row);
+  }
+}
+
+void QuantizedEmbeddingBag::quantize_row(index_t row,
+                                         std::span<const float> values) {
+  float max_abs = 0.0f;
+  for (float v : values) max_abs = std::max(max_abs, std::fabs(v));
+  const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  scales_[static_cast<std::size_t>(row)] = scale;
+  std::int8_t* dst = codes_.data() + static_cast<std::size_t>(row) * dim_;
+  for (index_t j = 0; j < dim_; ++j) {
+    const float q = std::round(values[static_cast<std::size_t>(j)] / scale);
+    dst[j] = static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+  }
+}
+
+void QuantizedEmbeddingBag::dequantize_row(index_t row,
+                                           std::span<float> out) const {
+  ELREC_DCHECK(static_cast<index_t>(out.size()) == dim_);
+  const float scale = scales_[static_cast<std::size_t>(row)];
+  const std::int8_t* src = codes_.data() + static_cast<std::size_t>(row) * dim_;
+  for (index_t j = 0; j < dim_; ++j) {
+    out[static_cast<std::size_t>(j)] = static_cast<float>(src[j]) * scale;
+  }
+}
+
+void QuantizedEmbeddingBag::forward(const IndexBatch& batch, Matrix& out) {
+  batch.validate(num_rows_);
+  const index_t b = batch.batch_size();
+  out.resize(b, dim_);
+  std::vector<float> row(static_cast<std::size_t>(dim_));
+  for (index_t s = 0; s < b; ++s) {
+    float* dst = out.row(s);
+    for (index_t p = batch.bag_begin(s); p < batch.bag_end(s); ++p) {
+      dequantize_row(batch.indices[static_cast<std::size_t>(p)], row);
+      for (index_t j = 0; j < dim_; ++j) {
+        dst[j] += row[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+}
+
+void QuantizedEmbeddingBag::backward_and_update(const IndexBatch& batch,
+                                                const Matrix& grad_out,
+                                                float lr) {
+  ELREC_CHECK(grad_out.rows() == batch.batch_size() && grad_out.cols() == dim_,
+              "grad_out shape mismatch");
+  std::vector<float> row(static_cast<std::size_t>(dim_));
+  for (index_t s = 0; s < batch.batch_size(); ++s) {
+    const float* g = grad_out.row(s);
+    for (index_t p = batch.bag_begin(s); p < batch.bag_end(s); ++p) {
+      const index_t r = batch.indices[static_cast<std::size_t>(p)];
+      // Dequantize -> SGD -> requantize: sub-step gradients are lost to
+      // rounding, the accuracy cost of training on quantized tables.
+      dequantize_row(r, row);
+      for (index_t j = 0; j < dim_; ++j) {
+        row[static_cast<std::size_t>(j)] -= lr * g[j];
+      }
+      quantize_row(r, row);
+    }
+  }
+}
+
+}  // namespace elrec

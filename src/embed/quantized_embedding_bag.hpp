@@ -1,0 +1,51 @@
+// Row-wise int8-quantized embedding table (the paper's [6]/[19] direction).
+//
+// Each row is stored as int8 codes plus a per-row scale; lookups dequantize
+// on the fly. Training updates dequantize -> SGD -> requantize, which is
+// where the accuracy loss the paper cites comes from: gradients smaller
+// than half a quantization step are rounded away. The ablation benches
+// surface exactly that effect against TT compression.
+#pragma once
+
+#include <span>
+
+#include "embed/embedding_table.hpp"
+
+namespace elrec {
+
+class QuantizedEmbeddingBag final : public IEmbeddingTable {
+ public:
+  QuantizedEmbeddingBag(index_t num_rows, index_t dim, Prng& rng,
+                        float init_std = 0.01f);
+
+  index_t num_rows() const override { return num_rows_; }
+  index_t dim() const override { return dim_; }
+
+  void forward(const IndexBatch& batch, Matrix& out) override;
+  void backward_and_update(const IndexBatch& batch, const Matrix& grad_out,
+                           float lr) override;
+
+  std::size_t parameter_bytes() const override {
+    return codes_.size() * sizeof(std::int8_t) +
+           scales_.size() * sizeof(float);
+  }
+  std::string name() const override { return "QuantizedEmbeddingBag(int8)"; }
+
+  void visit_parameters(const ParameterVisitor&) override {
+    throw Error("QuantizedEmbeddingBag parameters are int8 codes; "
+                "parameter averaging is not supported");
+  }
+
+  /// Dequantized view of one row (for tests / accuracy probes).
+  void dequantize_row(index_t row, std::span<float> out) const;
+
+ private:
+  void quantize_row(index_t row, std::span<const float> values);
+
+  index_t num_rows_;
+  index_t dim_;
+  std::vector<std::int8_t> codes_;  // num_rows * dim
+  std::vector<float> scales_;       // per row: value = code * scale
+};
+
+}  // namespace elrec

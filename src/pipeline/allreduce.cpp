@@ -1,0 +1,73 @@
+#include "pipeline/allreduce.hpp"
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+RingAllReduce::RingAllReduce(int num_workers)
+    : num_workers_(num_workers),
+      buffers_(static_cast<std::size_t>(num_workers)),
+      barrier_(num_workers) {
+  ELREC_CHECK(num_workers >= 1, "need at least one worker");
+}
+
+void RingAllReduce::allreduce_mean(int rank, std::span<float> data) {
+  ELREC_CHECK(rank >= 0 && rank < num_workers_, "bad rank");
+  if (num_workers_ == 1) return;
+
+  buffers_[static_cast<std::size_t>(rank)] = data;
+  barrier_.arrive_and_wait();
+  ELREC_CHECK(buffers_[0].size() == data.size(),
+              "all-reduce buffers must have equal length");
+
+  const std::size_t n = data.size();
+  const int w = num_workers_;
+  // Chunk boundaries: chunk c covers [c*n/w, (c+1)*n/w).
+  auto chunk_begin = [&](int c) {
+    return n * static_cast<std::size_t>(c) / static_cast<std::size_t>(w);
+  };
+
+  // Reduce-scatter: after step s, worker r owns the full sum of chunk
+  // (r - s) mod w ... finished with each worker owning one summed chunk.
+  for (int step = 0; step < w - 1; ++step) {
+    const int src = (rank - step - 1 + 2 * w) % w;  // chunk to accumulate
+    const int from = (rank - 1 + w) % w;            // left neighbor's buffer
+    const std::size_t lo = chunk_begin(src);
+    const std::size_t hi = chunk_begin(src + 1);
+    // Each worker reads its left neighbor's chunk and adds into its own.
+    // Barrier-separated steps make the reads race-free.
+    for (std::size_t i = lo; i < hi; ++i) {
+      data[i] += buffers_[static_cast<std::size_t>(from)][i];
+    }
+    barrier_.arrive_and_wait();
+  }
+  // Worker r now owns the fully reduced chunk (r - (w-1)) mod w == (r+1)%w.
+  const int owned = (rank + 1) % w;
+  const float inv = 1.0f / static_cast<float>(w);
+  for (std::size_t i = chunk_begin(owned); i < chunk_begin(owned + 1); ++i) {
+    data[i] *= inv;
+  }
+  barrier_.arrive_and_wait();
+
+  // All-gather: fetch every other worker's owned chunk (owned chunks are
+  // final after the reduce-scatter, so reading the owner directly is safe;
+  // barriers keep step writes and reads disjoint).
+  for (int step = 0; step < w - 1; ++step) {
+    const int src_rank = (rank - step - 1 + w) % w;  // never self
+    const int chunk = (src_rank + 1) % w;
+    const std::size_t lo = chunk_begin(chunk);
+    const std::size_t hi = chunk_begin(chunk + 1);
+    for (std::size_t i = lo; i < hi; ++i) {
+      data[i] = buffers_[static_cast<std::size_t>(src_rank)][i];
+    }
+    barrier_.arrive_and_wait();
+  }
+}
+
+double RingAllReduce::ring_bytes_per_worker(double payload_bytes,
+                                            int num_workers) {
+  if (num_workers <= 1) return 0.0;
+  return 2.0 * (num_workers - 1) / num_workers * payload_bytes;
+}
+
+}  // namespace elrec

@@ -1,0 +1,42 @@
+// Ring all-reduce over in-process workers.
+//
+// EL-Rec trains TT tables and MLPs data-parallel across workers (paper
+// Fig. 9 Step 2); the gradient all-reduce is the only inter-worker
+// communication. This is a faithful ring implementation (2(W-1) steps of
+// chunked reduce-scatter + all-gather) over shared memory, used by the
+// multi-worker trainer and by tests; the sim module prices the same
+// algorithm on NVLink/PCIe bandwidths.
+#pragma once
+
+#include <barrier>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+/// Shared state for one all-reduce group of `num_workers` participants.
+class RingAllReduce {
+ public:
+  explicit RingAllReduce(int num_workers);
+
+  int num_workers() const { return num_workers_; }
+
+  /// Collective: every worker calls this with its rank and its buffer (all
+  /// buffers must have equal length). On return every buffer holds the
+  /// element-wise MEAN of the inputs. Thread-safe for exactly one concurrent
+  /// call per rank.
+  void allreduce_mean(int rank, std::span<float> data);
+
+  /// Bytes a ring all-reduce moves per worker for a payload of n bytes:
+  /// 2 * (W-1)/W * n (the sim module uses this too).
+  static double ring_bytes_per_worker(double payload_bytes, int num_workers);
+
+ private:
+  int num_workers_;
+  std::vector<std::span<float>> buffers_;
+  std::barrier<> barrier_;
+};
+
+}  // namespace elrec

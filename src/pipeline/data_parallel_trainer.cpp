@@ -1,0 +1,121 @@
+#include "pipeline/data_parallel_trainer.hpp"
+
+#include <thread>
+
+#include "common/stopwatch.hpp"
+#include "core/eff_tt_table.hpp"
+#include "embed/embedding_bag.hpp"
+
+namespace elrec {
+
+MiniBatch slice_minibatch(const MiniBatch& batch, index_t begin, index_t end) {
+  ELREC_CHECK(begin >= 0 && begin <= end && end <= batch.batch_size(),
+              "bad slice bounds");
+  MiniBatch out;
+  const index_t n = end - begin;
+  out.dense.resize(n, batch.dense.cols());
+  for (index_t s = 0; s < n; ++s) {
+    std::copy(batch.dense.row(begin + s),
+              batch.dense.row(begin + s) + batch.dense.cols(),
+              out.dense.row(s));
+  }
+  out.labels.assign(batch.labels.begin() + begin, batch.labels.begin() + end);
+  out.sparse.reserve(batch.sparse.size());
+  for (const IndexBatch& table : batch.sparse) {
+    IndexBatch sliced;
+    sliced.offsets.reserve(static_cast<std::size_t>(n) + 1);
+    const index_t base = table.bag_begin(begin);
+    for (index_t s = begin; s <= end; ++s) {
+      sliced.offsets.push_back(table.offsets[static_cast<std::size_t>(s)] -
+                               base);
+    }
+    sliced.indices.assign(table.indices.begin() + base,
+                          table.indices.begin() + table.bag_begin(end));
+    out.sparse.push_back(std::move(sliced));
+  }
+  return out;
+}
+
+namespace {
+
+std::unique_ptr<DlrmModel> build_replica(const DataParallelConfig& config,
+                                         const DatasetSpec& spec) {
+  // Every replica uses an identically-seeded generator, so all workers
+  // start from the same parameters (required for parameter averaging to
+  // equal gradient averaging).
+  Prng rng(config.seed);
+  std::vector<std::unique_ptr<IEmbeddingTable>> tables;
+  for (index_t rows : spec.table_rows) {
+    if (rows >= config.tt_threshold) {
+      tables.push_back(std::make_unique<EffTTTable>(
+          rows,
+          TTShape::balanced(rows, config.model.embedding_dim, 3,
+                            config.tt_rank),
+          rng));
+    } else {
+      tables.push_back(std::make_unique<EmbeddingBag>(
+          rows, config.model.embedding_dim, rng));
+    }
+  }
+  return std::make_unique<DlrmModel>(config.model, std::move(tables), rng);
+}
+
+}  // namespace
+
+DataParallelTrainer::DataParallelTrainer(DataParallelConfig config,
+                                         const DatasetSpec& spec)
+    : config_(std::move(config)) {
+  ELREC_CHECK(config_.num_workers >= 1, "need at least one worker");
+  for (int w = 0; w < config_.num_workers; ++w) {
+    models_.push_back(build_replica(config_, spec));
+  }
+}
+
+DataParallelStats DataParallelTrainer::train(SyntheticDataset& data,
+                                             index_t num_batches,
+                                             index_t global_batch) {
+  const int w = config_.num_workers;
+  ELREC_CHECK(global_batch % w == 0,
+              "global batch must divide evenly across workers");
+  DataParallelStats stats;
+  Stopwatch wall;
+  RingAllReduce ring(w);
+  std::vector<float> losses(static_cast<std::size_t>(w), 0.0f);
+
+  for (index_t b = 0; b < num_batches; ++b) {
+    const MiniBatch global = data.next_batch(global_batch);
+    const index_t shard = global_batch / w;
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(w));
+    double step_bytes = 0.0;
+    for (int rank = 0; rank < w; ++rank) {
+      threads.emplace_back([&, rank] {
+        const MiniBatch local =
+            slice_minibatch(global, rank * shard, (rank + 1) * shard);
+        losses[static_cast<std::size_t>(rank)] =
+            models_[static_cast<std::size_t>(rank)]->train_step(local,
+                                                                config_.lr);
+        // Synchronize: ring-all-reduce every parameter buffer to the mean.
+        // All workers traverse buffers in the same order (collective
+        // semantics); buffer count/sizes are identical by construction.
+        models_[static_cast<std::size_t>(rank)]->visit_parameters(
+            [&](float* p, std::size_t n) {
+              ring.allreduce_mean(rank, {p, n});
+              if (rank == 0) step_bytes += static_cast<double>(n) * 4;
+            });
+      });
+    }
+    for (auto& t : threads) t.join();
+    stats.allreduce_bytes = step_bytes;
+
+    float mean_loss = 0.0f;
+    for (float l : losses) mean_loss += l;
+    stats.loss_curve.push_back(mean_loss / static_cast<float>(w));
+    ++stats.batches;
+  }
+  stats.wall_seconds = wall.seconds();
+  return stats;
+}
+
+}  // namespace elrec

@@ -1,0 +1,58 @@
+// Data-parallel DLRM training across in-process workers (paper Fig. 12's
+// EL-Rec multi-GPU mode, with threads standing in for GPUs).
+//
+// Every worker holds a full replica (MLPs + Eff-TT tables — the point of TT
+// compression is that replication fits). Each global batch is split into
+// per-worker shards; workers step locally, then ring-all-reduce their
+// parameters. For one local SGD step from a common start,
+//     mean_w(theta - lr * g_w) == theta - lr * mean_w(g_w),
+// so parameter averaging IS synchronous data-parallel SGD — which the tests
+// verify by comparing a 2-worker run against a single-worker full-batch run.
+#pragma once
+
+#include <memory>
+
+#include "data/synthetic.hpp"
+#include "dlrm/dlrm_model.hpp"
+#include "pipeline/allreduce.hpp"
+
+namespace elrec {
+
+struct DataParallelConfig {
+  int num_workers = 2;
+  DlrmConfig model;
+  index_t tt_rank = 16;
+  index_t tt_threshold = 1000;  // tables >= this become Eff-TT
+  float lr = 0.05f;
+  std::uint64_t seed = 1;
+};
+
+struct DataParallelStats {
+  index_t batches = 0;
+  std::vector<float> loss_curve;  // mean worker loss per global batch
+  double wall_seconds = 0.0;
+  double allreduce_bytes = 0.0;  // parameters synchronized per step
+};
+
+/// Extracts the samples [begin, end) of `batch` into a standalone MiniBatch.
+MiniBatch slice_minibatch(const MiniBatch& batch, index_t begin, index_t end);
+
+class DataParallelTrainer {
+ public:
+  DataParallelTrainer(DataParallelConfig config, const DatasetSpec& spec);
+
+  /// Runs `num_batches` global batches of `global_batch` samples.
+  DataParallelStats train(SyntheticDataset& data, index_t num_batches,
+                          index_t global_batch);
+
+  DlrmModel& worker_model(int rank) {
+    return *models_[static_cast<std::size_t>(rank)];
+  }
+  int num_workers() const { return config_.num_workers; }
+
+ private:
+  DataParallelConfig config_;
+  std::vector<std::unique_ptr<DlrmModel>> models_;
+};
+
+}  // namespace elrec

@@ -1,0 +1,229 @@
+#include "pipeline/elrec_trainer.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "common/blocking_queue.hpp"
+#include "common/stopwatch.hpp"
+#include "embed/embedding_bag.hpp"
+
+namespace elrec {
+
+std::vector<TablePlacement> default_placement(const DatasetSpec& spec,
+                                              index_t tt_threshold,
+                                              index_t host_threshold) {
+  std::vector<TablePlacement> placement;
+  placement.reserve(spec.table_rows.size());
+  for (index_t rows : spec.table_rows) {
+    if (rows >= host_threshold) {
+      placement.push_back(TablePlacement::kHost);
+    } else if (rows >= tt_threshold) {
+      placement.push_back(TablePlacement::kDeviceTT);
+    } else {
+      placement.push_back(TablePlacement::kDeviceDense);
+    }
+  }
+  return placement;
+}
+
+void HostTableClient::install(std::vector<index_t> unique, Matrix rows) {
+  ELREC_CHECK(rows.rows() == static_cast<index_t>(unique.size()) &&
+                  rows.cols() == dim_,
+              "installed rows shape mismatch");
+  unique_ = std::move(unique);
+  rows_ = std::move(rows);
+}
+
+void HostTableClient::forward(const IndexBatch& batch, Matrix& out) {
+  batch.validate(num_rows_);
+  // Map batch positions onto the installed unique rows.
+  occurrence_.resize(batch.indices.size());
+  for (std::size_t i = 0; i < batch.indices.size(); ++i) {
+    const auto it =
+        std::lower_bound(unique_.begin(), unique_.end(), batch.indices[i]);
+    ELREC_CHECK(it != unique_.end() && *it == batch.indices[i],
+                "batch index missing from installed prefetch rows");
+    occurrence_[i] = static_cast<index_t>(it - unique_.begin());
+  }
+  const index_t b = batch.batch_size();
+  out.resize(b, dim_);
+  for (index_t s = 0; s < b; ++s) {
+    float* dst = out.row(s);
+    for (index_t p = batch.bag_begin(s); p < batch.bag_end(s); ++p) {
+      const float* src = rows_.row(occurrence_[static_cast<std::size_t>(p)]);
+      for (index_t j = 0; j < dim_; ++j) dst[j] += src[j];
+    }
+  }
+}
+
+void HostTableClient::backward_and_update(const IndexBatch& batch,
+                                          const Matrix& grad_out, float lr) {
+  ELREC_CHECK(grad_out.rows() == batch.batch_size() && grad_out.cols() == dim_,
+              "grad_out shape mismatch");
+  grads_.resize(static_cast<index_t>(unique_.size()), dim_);
+  grads_.set_zero();
+  for (index_t s = 0; s < batch.batch_size(); ++s) {
+    const float* g = grad_out.row(s);
+    for (index_t p = batch.bag_begin(s); p < batch.bag_end(s); ++p) {
+      float* dst = grads_.row(occurrence_[static_cast<std::size_t>(p)]);
+      for (index_t j = 0; j < dim_; ++j) dst[j] += g[j];
+    }
+  }
+  // Worker-side view of the post-update rows (for the embedding cache).
+  updated_.resize(rows_.rows(), rows_.cols());
+  for (index_t i = 0; i < rows_.rows(); ++i) {
+    const float* r = rows_.row(i);
+    const float* g = grads_.row(i);
+    float* u = updated_.row(i);
+    for (index_t j = 0; j < dim_; ++j) u[j] = r[j] - lr * g[j];
+  }
+}
+
+ElRecTrainer::ElRecTrainer(ElRecTrainerConfig config, const DatasetSpec& spec)
+    : config_(std::move(config)) {
+  ELREC_CHECK(config_.placement.size() == spec.table_rows.size(),
+              "one placement per table required");
+  Prng rng(config_.seed);
+
+  std::vector<std::unique_ptr<IEmbeddingTable>> tables;
+  constexpr auto npos = static_cast<std::size_t>(-1);
+  host_slot_of_table_.assign(spec.table_rows.size(), npos);
+  const index_t dim = config_.model.embedding_dim;
+
+  for (std::size_t t = 0; t < spec.table_rows.size(); ++t) {
+    const index_t rows = spec.table_rows[t];
+    switch (config_.placement[t]) {
+      case TablePlacement::kDeviceDense:
+        tables.push_back(std::make_unique<EmbeddingBag>(rows, dim, rng));
+        break;
+      case TablePlacement::kDeviceTT: {
+        const TTShape shape = TTShape::balanced(rows, dim, 3, config_.tt_rank);
+        tables.push_back(std::make_unique<EffTTTable>(rows, shape, rng));
+        break;
+      }
+      case TablePlacement::kHost: {
+        host_slot_of_table_[t] = host_stores_.size();
+        host_stores_.push_back(
+            std::make_unique<HostEmbeddingStore>(rows, dim, rng));
+        auto client = std::make_unique<HostTableClient>(rows, dim);
+        host_clients_.push_back(client.get());
+        tables.push_back(std::move(client));
+        break;
+      }
+    }
+  }
+  model_ = std::make_unique<DlrmModel>(config_.model, std::move(tables), rng);
+}
+
+std::size_t ElRecTrainer::device_embedding_bytes() const {
+  return model_->embedding_bytes();  // HostTableClient reports 0
+}
+
+ElRecRunStats ElRecTrainer::train(SyntheticDataset& data, index_t num_batches,
+                                  index_t batch_size) {
+  ElRecRunStats stats;
+  const auto capacity = static_cast<std::size_t>(config_.queue_capacity);
+  BlockingQueue<Prefetched> prefetch_queue(capacity);
+  BlockingQueue<GradUnit> gradient_queue(capacity);
+  std::atomic<index_t> applied_batch_id{-1};
+
+  const std::size_t num_host = host_stores_.size();
+  Stopwatch wall;
+
+  // ---- Server thread: data loading + parameter service ---------------
+  std::thread server([&] {
+    index_t prefetched = 0;
+    index_t applied = 0;
+    while (applied < num_batches) {
+      while (auto push = gradient_queue.try_pop()) {
+        for (std::size_t h = 0; h < num_host; ++h) {
+          host_stores_[h]->apply_gradients(push->indices[h], push->grads[h],
+                                           config_.lr);
+        }
+        applied_batch_id.store(push->batch_id, std::memory_order_release);
+        ++applied;
+      }
+      if (prefetched < num_batches) {
+        Prefetched pf;
+        pf.batch_id = prefetched;
+        pf.batch = data.next_batch(batch_size);
+        pf.host_unique.resize(num_host);
+        pf.host_rows.resize(num_host);
+        for (std::size_t t = 0; t < host_slot_of_table_.size(); ++t) {
+          const std::size_t h = host_slot_of_table_[t];
+          if (h == static_cast<std::size_t>(-1)) continue;
+          const auto umap = build_unique_index_map(pf.batch.sparse[t].indices);
+          pf.host_unique[h] = umap.unique;
+          host_stores_[h]->pull(pf.host_unique[h], pf.host_rows[h]);
+        }
+        ++prefetched;
+        if (!prefetch_queue.push(std::move(pf))) return;
+      } else if (applied < num_batches) {
+        auto push = gradient_queue.pop();
+        if (!push) return;
+        for (std::size_t h = 0; h < num_host; ++h) {
+          host_stores_[h]->apply_gradients(push->indices[h], push->grads[h],
+                                           config_.lr);
+        }
+        applied_batch_id.store(push->batch_id, std::memory_order_release);
+        ++applied;
+      }
+    }
+    prefetch_queue.close();
+  });
+
+  // ---- Worker: DLRM forward/backward ---------------------------------
+  std::vector<EmbeddingCache> caches;
+  caches.reserve(num_host);
+  for (std::size_t h = 0; h < num_host; ++h) {
+    caches.emplace_back(config_.model.embedding_dim,
+                        config_.queue_capacity + 1);
+  }
+
+  for (index_t b = 0; b < num_batches; ++b) {
+    auto pf = prefetch_queue.pop();
+    ELREC_CHECK(pf.has_value(), "prefetch queue closed early");
+
+    // Step 1: synchronize prefetched host rows against the caches.
+    for (std::size_t h = 0; h < num_host; ++h) {
+      if (config_.use_embedding_cache) {
+        stats.rows_patched += caches[h].sync(pf->host_unique[h], pf->host_rows[h]);
+      }
+      host_clients_[h]->install(pf->host_unique[h],
+                                std::move(pf->host_rows[h]));
+    }
+
+    // Device-side forward/backward; device tables (dense + Eff-TT) update in
+    // place, host clients capture gradients.
+    const float loss = model_->train_step(pf->batch, config_.lr);
+    stats.loss_curve.push_back(loss);
+    stats.final_loss = loss;
+
+    // Step 3: push host-table gradients; refresh the caches.
+    GradUnit push;
+    push.batch_id = pf->batch_id;
+    push.indices.resize(num_host);
+    push.grads.resize(num_host);
+    for (std::size_t h = 0; h < num_host; ++h) {
+      push.indices[h] = host_clients_[h]->captured_indices();
+      push.grads[h] = host_clients_[h]->captured_grads();
+      if (config_.use_embedding_cache) {
+        caches[h].insert(push.indices[h], host_clients_[h]->updated_rows(),
+                         pf->batch_id);
+        caches[h].retire_batch(
+            applied_batch_id.load(std::memory_order_acquire));
+      }
+    }
+    gradient_queue.push(std::move(push));
+    ++stats.batches;
+  }
+  server.join();
+
+  for (auto& cache : caches) {
+    stats.cache_peak = std::max(stats.cache_peak, cache.peak_size());
+  }
+  stats.wall_seconds = wall.seconds();
+  return stats;
+}
+
+}  // namespace elrec

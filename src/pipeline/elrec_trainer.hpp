@@ -1,0 +1,130 @@
+// EL-Rec end-to-end training system (paper Fig. 9).
+//
+// Assembles the full design: Eff-TT tables (and small dense tables) live on
+// the "device" (worker), oversized tables live in the HostEmbeddingStore
+// behind a prefetch/gradient queue pair, and an EmbeddingCache per host
+// table repairs the pipeline RAW hazard. The server thread doubles as the
+// data loader; the worker thread runs DLRM forward/backward.
+#pragma once
+
+#include <memory>
+
+#include "core/eff_tt_table.hpp"
+#include "data/synthetic.hpp"
+#include "dlrm/dlrm_model.hpp"
+#include "pipeline/embedding_cache.hpp"
+#include "pipeline/host_embedding_store.hpp"
+#include "pipeline/pipeline_trainer.hpp"
+
+namespace elrec {
+
+/// Placement of one embedding table in the EL-Rec hierarchy.
+enum class TablePlacement {
+  kDeviceDense,  // small table, kept dense on the worker
+  kDeviceTT,     // compressed to an Eff-TT table on the worker
+  kHost,         // parameter-server resident, pipelined
+};
+
+struct ElRecTrainerConfig {
+  DlrmConfig model;
+  std::vector<TablePlacement> placement;  // one per table
+  index_t tt_rank = 16;
+  index_t queue_capacity = 4;   // 1 == EL-Rec (Sequential) of Fig. 16
+  bool use_embedding_cache = true;
+  float lr = 0.05f;
+  std::uint64_t seed = 1;
+};
+
+/// Chooses placements the way the paper does: tables above `tt_threshold`
+/// rows are compressed to Eff-TT; tables above `host_threshold` (when TT is
+/// disabled) or explicitly oversized ones go to the host.
+std::vector<TablePlacement> default_placement(const DatasetSpec& spec,
+                                              index_t tt_threshold,
+                                              index_t host_threshold);
+
+/// Host-resident table seen from the worker: forward pools from rows the
+/// pipeline installed; backward captures aggregated gradients for the
+/// gradient queue instead of updating locally.
+class HostTableClient final : public IEmbeddingTable {
+ public:
+  HostTableClient(index_t num_rows, index_t dim)
+      : num_rows_(num_rows), dim_(dim) {}
+
+  index_t num_rows() const override { return num_rows_; }
+  index_t dim() const override { return dim_; }
+
+  /// Called by the trainer before forward: the synchronized parameter rows
+  /// for this batch's unique indices.
+  void install(std::vector<index_t> unique, Matrix rows);
+
+  void forward(const IndexBatch& batch, Matrix& out) override;
+  void backward_and_update(const IndexBatch& batch, const Matrix& grad_out,
+                           float lr) override;
+
+  std::size_t parameter_bytes() const override { return 0; }  // host-owned
+  std::string name() const override { return "HostTableClient"; }
+
+  void visit_parameters(const ParameterVisitor&) override {
+    // Parameters live in the HostEmbeddingStore; nothing worker-resident.
+  }
+
+  const std::vector<index_t>& captured_indices() const { return unique_; }
+  const Matrix& captured_grads() const { return grads_; }
+  /// Post-update row values (rows - lr * grads) for the embedding cache.
+  const Matrix& updated_rows() const { return updated_; }
+
+ private:
+  index_t num_rows_;
+  index_t dim_;
+  std::vector<index_t> unique_;
+  std::vector<index_t> occurrence_;  // per batch position
+  Matrix rows_;
+  Matrix grads_;
+  Matrix updated_;
+};
+
+struct ElRecRunStats {
+  index_t batches = 0;
+  double wall_seconds = 0.0;
+  double final_loss = 0.0;
+  std::vector<float> loss_curve;
+  index_t rows_patched = 0;   // RAW repairs performed by the caches
+  std::size_t cache_peak = 0;
+};
+
+class ElRecTrainer {
+ public:
+  ElRecTrainer(ElRecTrainerConfig config, const DatasetSpec& spec);
+
+  /// Trains for `num_batches` batches of `batch_size`, streaming data from
+  /// `data`. Pipelined when queue_capacity > 1, sequential otherwise.
+  ElRecRunStats train(SyntheticDataset& data, index_t num_batches,
+                      index_t batch_size);
+
+  DlrmModel& model() { return *model_; }
+  HostEmbeddingStore& host_store(std::size_t i) { return *host_stores_[i]; }
+  std::size_t num_host_tables() const { return host_stores_.size(); }
+  std::size_t device_embedding_bytes() const;
+
+ private:
+  // One prefetched unit traveling through the queue.
+  struct Prefetched {
+    index_t batch_id = 0;
+    MiniBatch batch;
+    std::vector<std::vector<index_t>> host_unique;  // per host table
+    std::vector<Matrix> host_rows;
+  };
+  struct GradUnit {
+    index_t batch_id = 0;
+    std::vector<std::vector<index_t>> indices;
+    std::vector<Matrix> grads;
+  };
+
+  ElRecTrainerConfig config_;
+  std::vector<std::size_t> host_slot_of_table_;  // table -> host index or npos
+  std::vector<HostTableClient*> host_clients_;   // borrowed from model_
+  std::vector<std::unique_ptr<HostEmbeddingStore>> host_stores_;
+  std::unique_ptr<DlrmModel> model_;
+};
+
+}  // namespace elrec

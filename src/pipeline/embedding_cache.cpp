@@ -1,0 +1,62 @@
+#include "pipeline/embedding_cache.hpp"
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+EmbeddingCache::EmbeddingCache(index_t dim, index_t lc_init)
+    : dim_(dim), lc_init_(lc_init) {
+  ELREC_CHECK(dim > 0, "cache dim must be positive");
+  ELREC_CHECK(lc_init > 0, "life-cycle init must be positive");
+}
+
+index_t EmbeddingCache::sync(const std::vector<index_t>& indices,
+                             Matrix& rows) const {
+  ELREC_CHECK(rows.rows() == static_cast<index_t>(indices.size()) &&
+                  rows.cols() == dim_,
+              "rows shape mismatch in cache sync");
+  index_t patched = 0;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto it = entries_.find(indices[i]);
+    if (it == entries_.end()) continue;
+    float* dst = rows.row(static_cast<index_t>(i));
+    for (index_t j = 0; j < dim_; ++j) {
+      dst[j] = it->second.value[static_cast<std::size_t>(j)];
+    }
+    ++patched;
+  }
+  return patched;
+}
+
+void EmbeddingCache::insert(const std::vector<index_t>& indices,
+                            const Matrix& values, index_t batch_id) {
+  ELREC_CHECK(values.rows() == static_cast<index_t>(indices.size()) &&
+                  values.cols() == dim_,
+              "values shape mismatch in cache insert");
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    Entry& e = entries_[indices[i]];
+    e.value.assign(values.row(static_cast<index_t>(i)),
+                   values.row(static_cast<index_t>(i)) + dim_);
+    e.lc = lc_init_;  // refresh the life cycle on every write
+    e.last_write_batch = batch_id;
+  }
+  peak_size_ = std::max(peak_size_, entries_.size());
+}
+
+void EmbeddingCache::retire_batch(index_t applied_batch_id) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& e = it->second;
+    // An entry's lives only start draining once the host store has absorbed
+    // its write: a prefetch issued before that absorption read stale host
+    // rows and may be consumed up to queue_capacity batches later, so the
+    // entry must survive at least that long past the absorption point.
+    if (e.last_write_batch <= applied_batch_id) e.lc -= 1;
+    if (e.lc <= 0) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace elrec

@@ -1,0 +1,56 @@
+// Device-side embedding cache resolving the pipeline RAW conflict (§V-B).
+//
+// When batch i+1 is prefetched while batch i is still training, the pulled
+// rows may miss batch i's update. The worker therefore keeps the rows it
+// freshly updated in this cache and patches every incoming prefetched batch
+// from it (Fig. 10b). Life-cycle (LC) management bounds the cache: an entry
+// enters with LC derived from the request-queue capacity and loses one life
+// per retired batch once the host store has absorbed the entry's own write;
+// at LC 0 it is evicted (no in-flight prefetch can still hold a stale copy).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+class EmbeddingCache {
+ public:
+  EmbeddingCache(index_t dim, index_t lc_init);
+
+  index_t dim() const { return dim_; }
+
+  /// Patches `rows` (pulled for `indices`) with any fresher cached values.
+  /// Returns the number of rows patched (Fig. 10b "synchronize").
+  index_t sync(const std::vector<index_t>& indices, Matrix& rows) const;
+
+  /// Inserts/refreshes entries after the worker finished training a batch:
+  /// `values` holds the post-update rows. `batch_id` tags the write so
+  /// eviction can wait for the host to catch up.
+  void insert(const std::vector<index_t>& indices, const Matrix& values,
+              index_t batch_id);
+
+  /// Called when the server has applied gradients up to `applied_batch_id`
+  /// (inclusive) and one more batch retired: decrements every LC and evicts
+  /// entries with LC <= 0 whose last write the host has absorbed.
+  void retire_batch(index_t applied_batch_id);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t peak_size() const { return peak_size_; }
+
+ private:
+  struct Entry {
+    std::vector<float> value;
+    index_t lc = 0;
+    index_t last_write_batch = -1;
+  };
+
+  index_t dim_;
+  index_t lc_init_;
+  std::unordered_map<index_t, Entry> entries_;
+  std::size_t peak_size_ = 0;
+};
+
+}  // namespace elrec

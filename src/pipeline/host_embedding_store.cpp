@@ -1,0 +1,46 @@
+#include "pipeline/host_embedding_store.hpp"
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+HostEmbeddingStore::HostEmbeddingStore(index_t num_rows, index_t dim,
+                                       Prng& rng, float init_std) {
+  ELREC_CHECK(num_rows > 0 && dim > 0, "store must be non-empty");
+  weights_.resize(num_rows, dim);
+  if (init_std > 0.0f) weights_.fill_normal(rng, 0.0f, init_std);
+}
+
+void HostEmbeddingStore::pull(const std::vector<index_t>& indices,
+                              Matrix& rows) const {
+  std::lock_guard lock(mu_);
+  rows.resize(static_cast<index_t>(indices.size()), weights_.cols());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const index_t idx = indices[i];
+    ELREC_CHECK(idx >= 0 && idx < weights_.rows(), "pull index out of range");
+    const float* src = weights_.row(idx);
+    float* dst = rows.row(static_cast<index_t>(i));
+    for (index_t j = 0; j < weights_.cols(); ++j) dst[j] = src[j];
+  }
+}
+
+void HostEmbeddingStore::apply_gradients(const std::vector<index_t>& indices,
+                                         const Matrix& grads, float lr) {
+  ELREC_CHECK(grads.rows() == static_cast<index_t>(indices.size()) &&
+                  grads.cols() == weights_.cols(),
+              "gradient shape mismatch");
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    float* dst = weights_.row(indices[i]);
+    const float* g = grads.row(static_cast<index_t>(i));
+    for (index_t j = 0; j < weights_.cols(); ++j) dst[j] -= lr * g[j];
+  }
+}
+
+std::vector<float> HostEmbeddingStore::row_copy(index_t row) const {
+  std::lock_guard lock(mu_);
+  const float* src = weights_.row(row);
+  return std::vector<float>(src, src + weights_.cols());
+}
+
+}  // namespace elrec

@@ -1,0 +1,116 @@
+#include "pipeline/pipeline_trainer.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "common/stopwatch.hpp"
+
+namespace elrec {
+
+PipelineTrainer::PipelineTrainer(HostEmbeddingStore& store,
+                                 PipelineConfig config)
+    : store_(store), config_(config) {
+  ELREC_CHECK(config_.queue_capacity >= 1, "queue capacity must be >= 1");
+}
+
+PipelineStats PipelineTrainer::run(
+    const std::vector<std::vector<index_t>>& batches,
+    const ComputeStep& compute) {
+  PipelineStats stats;
+  const auto capacity = static_cast<std::size_t>(config_.queue_capacity);
+  BlockingQueue<PrefetchedBatch> prefetch_queue(capacity);
+  BlockingQueue<GradientPush> gradient_queue(capacity);
+
+  // Highest batch id whose gradients the server has applied; drives cache
+  // eviction (the host is authoritative once it absorbed a write).
+  std::atomic<index_t> applied_batch_id{-1};
+
+  Stopwatch wall;
+
+  // ---- Server thread (paper Fig. 9, CPU side) ------------------------
+  std::thread server([&] {
+    std::size_t next_prefetch = 0;
+    std::size_t grads_applied = 0;
+    while (grads_applied < batches.size()) {
+      // Drain any pushed gradients first: this is what keeps host rows as
+      // fresh as possible before the next pull.
+      while (auto push = gradient_queue.try_pop()) {
+        store_.apply_gradients(push->indices, push->grads, config_.lr);
+        applied_batch_id.store(push->batch_id, std::memory_order_release);
+        ++grads_applied;
+      }
+      if (next_prefetch < batches.size()) {
+        PrefetchedBatch pb;
+        pb.batch_id = static_cast<index_t>(next_prefetch);
+        pb.indices = batches[next_prefetch];
+        store_.pull(pb.indices, pb.rows);
+        ++next_prefetch;
+        if (!prefetch_queue.push(std::move(pb))) return;
+      } else if (grads_applied < batches.size()) {
+        // All batches prefetched; block on the remaining gradients.
+        auto push = gradient_queue.pop();
+        if (!push) return;
+        store_.apply_gradients(push->indices, push->grads, config_.lr);
+        applied_batch_id.store(push->batch_id, std::memory_order_release);
+        ++grads_applied;
+      }
+    }
+    prefetch_queue.close();
+  });
+
+  // ---- Worker (caller thread; paper Fig. 9, GPU side) -----------------
+  EmbeddingCache cache(store_.dim(), config_.queue_capacity + 1);
+  Stopwatch worker_watch;
+  double worker_busy = 0.0;
+  Matrix grads;
+  Matrix updated;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    auto pb = prefetch_queue.pop();
+    ELREC_CHECK(pb.has_value(), "prefetch queue closed early");
+    worker_watch.reset();
+
+    // Step 1 (Fig. 9): synchronize prefetched rows with the cache.
+    if (config_.use_embedding_cache) {
+      stats.rows_patched += cache.sync(pb->indices, pb->rows);
+    }
+
+    // Compute the batch's gradients on the fresh rows.
+    compute(pb->batch_id, pb->indices, pb->rows, grads);
+    ELREC_CHECK(grads.rows() == static_cast<index_t>(pb->indices.size()) &&
+                    grads.cols() == store_.dim(),
+                "compute step produced wrong gradient shape");
+
+    // Worker-side view of the updated rows goes into the cache so the next
+    // prefetched batch can be patched (Fig. 10b).
+    if (config_.use_embedding_cache) {
+      updated.resize(pb->rows.rows(), pb->rows.cols());
+      for (index_t i = 0; i < updated.rows(); ++i) {
+        const float* r = pb->rows.row(i);
+        const float* g = grads.row(i);
+        float* u = updated.row(i);
+        for (index_t j = 0; j < updated.cols(); ++j) {
+          u[j] = r[j] - config_.lr * g[j];
+        }
+      }
+      cache.insert(pb->indices, updated, pb->batch_id);
+      cache.retire_batch(applied_batch_id.load(std::memory_order_acquire));
+    }
+
+    // Step 3 (Fig. 9): push gradients to the server.
+    GradientPush push;
+    push.batch_id = pb->batch_id;
+    push.indices = std::move(pb->indices);
+    push.grads = grads;
+    worker_busy += worker_watch.seconds();
+    gradient_queue.push(std::move(push));
+    ++stats.batches;
+  }
+  server.join();
+
+  stats.cache_peak = cache.peak_size();
+  stats.worker_seconds = worker_busy;
+  stats.wall_seconds = wall.seconds();
+  return stats;
+}
+
+}  // namespace elrec

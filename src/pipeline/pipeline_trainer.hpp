@@ -1,0 +1,66 @@
+// Generic pipelined parameter-server training loop (§V-A, Fig. 9/10a).
+//
+// A server thread pre-fetches embedding rows for upcoming batches from the
+// HostEmbeddingStore into a bounded Pre-fetch Queue and drains a Gradient
+// Queue back into the store, while the worker (caller thread) consumes
+// prefetched batches, synchronizes them against the EmbeddingCache, runs a
+// user-supplied compute step, and pushes gradients. The compute step is a
+// callback so both unit tests (analytic gradients with a sequential oracle)
+// and the full DLRM trainer reuse the same runtime.
+#pragma once
+
+#include <functional>
+
+#include "common/blocking_queue.hpp"
+#include "pipeline/embedding_cache.hpp"
+#include "pipeline/host_embedding_store.hpp"
+
+namespace elrec {
+
+struct PrefetchedBatch {
+  index_t batch_id = 0;
+  std::vector<index_t> indices;  // unique rows of this batch
+  Matrix rows;                   // pulled parameters, one row per index
+};
+
+struct GradientPush {
+  index_t batch_id = 0;
+  std::vector<index_t> indices;
+  Matrix grads;  // aggregated per-unique-index gradients
+};
+
+struct PipelineConfig {
+  index_t queue_capacity = 4;  // depth of both queues; 1 == sequential mode
+  float lr = 0.05f;
+  bool use_embedding_cache = true;  // off reproduces the RAW bug (Fig. 10a)
+};
+
+struct PipelineStats {
+  index_t batches = 0;
+  index_t rows_patched = 0;      // cache sync hits
+  std::size_t cache_peak = 0;    // max cache entries (LC bound check)
+  double worker_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Computes per-unique-row gradients for one batch: given the (synchronized)
+/// parameter rows, fill `grads` with dL/d(row).
+using ComputeStep = std::function<void(index_t batch_id,
+                                       const std::vector<index_t>& indices,
+                                       const Matrix& rows, Matrix& grads)>;
+
+class PipelineTrainer {
+ public:
+  PipelineTrainer(HostEmbeddingStore& store, PipelineConfig config);
+
+  /// Runs the pipeline over `batches` (each a list of unique row indices).
+  /// Blocks until every gradient has been applied to the host store.
+  PipelineStats run(const std::vector<std::vector<index_t>>& batches,
+                    const ComputeStep& compute);
+
+ private:
+  HostEmbeddingStore& store_;
+  PipelineConfig config_;
+};
+
+}  // namespace elrec

@@ -1,0 +1,67 @@
+#include "reorder/bijection.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+BijectionResult generate_bijection(const IndexGraphResult& graph_result,
+                                   LouvainOptions opts) {
+  const auto table_rows =
+      static_cast<index_t>(graph_result.vertex_of.size());
+  BijectionResult out;
+  out.num_hot = graph_result.num_hot;
+  out.mapping.assign(static_cast<std::size_t>(table_rows), -1);
+
+  // Global information: hot indices take the front, by frequency rank.
+  for (index_t r = 0; r < graph_result.num_hot; ++r) {
+    out.mapping[static_cast<std::size_t>(
+        graph_result.frequency_order[static_cast<std::size_t>(r)])] = r;
+  }
+
+  // Local information: Louvain communities over the cold-index graph.
+  const LouvainResult communities = louvain(graph_result.graph, opts);
+  out.num_communities = communities.num_communities;
+  out.modularity = communities.modularity;
+
+  // Order communities by total vertex degree (densest first), then members
+  // by degree; vertices in the same community get consecutive new indices.
+  const index_t nc = std::max<index_t>(communities.num_communities, 1);
+  std::vector<double> comm_degree(static_cast<std::size_t>(nc), 0.0);
+  std::vector<std::vector<index_t>> members(static_cast<std::size_t>(nc));
+  for (index_t v = 0; v < graph_result.graph.num_vertices; ++v) {
+    const index_t c = communities.community_of[static_cast<std::size_t>(v)];
+    comm_degree[static_cast<std::size_t>(c)] += graph_result.graph.degree(v);
+    members[static_cast<std::size_t>(c)].push_back(v);
+  }
+  std::vector<index_t> comm_order(static_cast<std::size_t>(nc));
+  std::iota(comm_order.begin(), comm_order.end(), index_t{0});
+  std::stable_sort(comm_order.begin(), comm_order.end(),
+                   [&](index_t a, index_t b) {
+                     return comm_degree[static_cast<std::size_t>(a)] >
+                            comm_degree[static_cast<std::size_t>(b)];
+                   });
+
+  index_t next = graph_result.num_hot;
+  for (index_t c : comm_order) {
+    for (index_t v : members[static_cast<std::size_t>(c)]) {
+      out.mapping[static_cast<std::size_t>(
+          graph_result.index_of[static_cast<std::size_t>(v)])] = next++;
+    }
+  }
+  ELREC_CHECK(next == table_rows, "bijection did not cover every index");
+
+  return out;
+}
+
+ReorderPipeline::ReorderPipeline(index_t table_rows, double hot_ratio,
+                                 std::uint64_t seed)
+    : builder_(table_rows, hot_ratio), rng_(seed) {}
+
+BijectionResult ReorderPipeline::finish(LouvainOptions opts) {
+  return generate_bijection(builder_.build(rng_), opts);
+}
+
+}  // namespace elrec

@@ -1,0 +1,46 @@
+// Index-bijection generation — paper §IV-C, Fig. 8.
+//
+// Combines global information (hot indices keep the leading positions, in
+// access-frequency order, so popular rows share TT prefixes) with local
+// information (cold indices are laid out community by community, so indices
+// that co-occur in batches land on adjacent rows and share prefix products).
+#pragma once
+
+#include "reorder/louvain.hpp"
+
+namespace elrec {
+
+struct BijectionResult {
+  std::vector<index_t> mapping;  // original index -> new index (a permutation)
+  index_t num_hot = 0;
+  index_t num_communities = 0;
+  double modularity = 0.0;
+};
+
+/// End-to-end generator: index graph (already built) -> Louvain ->
+/// bijection. Hot indices occupy new positions [0, num_hot) by frequency
+/// rank; each community then gets a contiguous block, communities ordered by
+/// total access count (denser communities first), members within a community
+/// ordered by frequency.
+BijectionResult generate_bijection(const IndexGraphResult& graph_result,
+                                   LouvainOptions opts = {});
+
+/// Convenience driver used by benches/examples: feeds `num_batches` batches
+/// of `table`'s indices from a callback into IndexGraphBuilder and returns
+/// the bijection.
+class ReorderPipeline {
+ public:
+  ReorderPipeline(index_t table_rows, double hot_ratio, std::uint64_t seed);
+
+  void add_batch(const std::vector<index_t>& indices) {
+    builder_.add_batch(indices);
+  }
+
+  BijectionResult finish(LouvainOptions opts = {});
+
+ private:
+  IndexGraphBuilder builder_;
+  Prng rng_;
+};
+
+}  // namespace elrec

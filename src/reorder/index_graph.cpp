@@ -1,0 +1,123 @@
+#include "reorder/index_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+void WeightedGraph::add_edge(index_t u, index_t v, double w) {
+  ELREC_DCHECK(u != v);
+  adjacency[static_cast<std::size_t>(u)].emplace_back(v, w);
+  adjacency[static_cast<std::size_t>(v)].emplace_back(u, w);
+  total_weight += w;
+}
+
+void WeightedGraph::add_self_loop(index_t v, double w) {
+  if (self_weight.empty()) {
+    self_weight.assign(static_cast<std::size_t>(num_vertices), 0.0);
+  }
+  self_weight[static_cast<std::size_t>(v)] += w;
+  total_weight += w;
+}
+
+double WeightedGraph::degree(index_t v) const {
+  double d = 2.0 * self_loop(v);
+  for (const auto& [n, w] : adjacency[static_cast<std::size_t>(v)]) d += w;
+  return d;
+}
+
+IndexGraphBuilder::IndexGraphBuilder(index_t table_rows, double hot_ratio,
+                                     index_t max_pairs_per_batch)
+    : table_rows_(table_rows),
+      hot_ratio_(hot_ratio),
+      max_pairs_per_batch_(max_pairs_per_batch),
+      access_count_(static_cast<std::size_t>(table_rows), 0) {
+  ELREC_CHECK(table_rows > 0, "empty table");
+  ELREC_CHECK(hot_ratio >= 0.0 && hot_ratio < 1.0, "hot_ratio in [0, 1)");
+}
+
+void IndexGraphBuilder::add_batch(const std::vector<index_t>& batch_indices) {
+  std::vector<index_t> set = batch_indices;
+  for (index_t idx : set) {
+    ELREC_CHECK(idx >= 0 && idx < table_rows_, "index out of range");
+    ++access_count_[static_cast<std::size_t>(idx)];
+  }
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  batch_sets_.push_back(std::move(set));
+  ++num_batches_;
+}
+
+IndexGraphResult IndexGraphBuilder::build(Prng& rng) const {
+  IndexGraphResult out;
+
+  // Global information: frequency-descending order (Fre_order of Alg. 2).
+  out.frequency_order.resize(static_cast<std::size_t>(table_rows_));
+  std::iota(out.frequency_order.begin(), out.frequency_order.end(), index_t{0});
+  std::stable_sort(out.frequency_order.begin(), out.frequency_order.end(),
+                   [&](index_t a, index_t b) {
+                     return access_count_[static_cast<std::size_t>(a)] >
+                            access_count_[static_cast<std::size_t>(b)];
+                   });
+  out.num_hot = static_cast<index_t>(hot_ratio_ *
+                                     static_cast<double>(table_rows_));
+
+  // Hot indices are clamped out (Alg. 2 line 4); cold ones become vertices.
+  out.vertex_of.assign(static_cast<std::size_t>(table_rows_), -1);
+  for (index_t r = out.num_hot; r < table_rows_; ++r) {
+    const index_t idx = out.frequency_order[static_cast<std::size_t>(r)];
+    out.vertex_of[static_cast<std::size_t>(idx)] =
+        static_cast<index_t>(out.index_of.size());
+    out.index_of.push_back(idx);
+  }
+
+  // Local information: co-occurrence edges within each batch (Alg. 2 line 5).
+  // Edge weights accumulate over batches through a flat hash of vertex pairs.
+  std::unordered_map<std::uint64_t, double> edge_weight;
+  for (const auto& set : batch_sets_) {
+    std::vector<index_t> cold;
+    cold.reserve(set.size());
+    for (index_t idx : set) {
+      const index_t v = out.vertex_of[static_cast<std::size_t>(idx)];
+      if (v >= 0) cold.push_back(v);
+    }
+    const auto k = static_cast<index_t>(cold.size());
+    if (k < 2) continue;
+    const index_t all_pairs = k * (k - 1) / 2;
+    auto bump = [&](index_t a, index_t b, double w) {
+      if (a == b) return;
+      if (a > b) std::swap(a, b);
+      edge_weight[(static_cast<std::uint64_t>(a) << 32) |
+                  static_cast<std::uint64_t>(b)] += w;
+    };
+    if (all_pairs <= max_pairs_per_batch_) {
+      for (index_t i = 0; i < k; ++i) {
+        for (index_t j = i + 1; j < k; ++j) bump(cold[static_cast<std::size_t>(i)], cold[static_cast<std::size_t>(j)], 1.0);
+      }
+    } else {
+      // Sample pairs; up-weight so expected total weight matches.
+      const double scale = static_cast<double>(all_pairs) /
+                           static_cast<double>(max_pairs_per_batch_);
+      for (index_t p = 0; p < max_pairs_per_batch_; ++p) {
+        const auto i = static_cast<index_t>(rng.uniform_index(
+            static_cast<std::uint64_t>(k)));
+        const auto j = static_cast<index_t>(rng.uniform_index(
+            static_cast<std::uint64_t>(k)));
+        bump(cold[static_cast<std::size_t>(i)], cold[static_cast<std::size_t>(j)], scale);
+      }
+    }
+  }
+
+  out.graph.num_vertices = static_cast<index_t>(out.index_of.size());
+  out.graph.adjacency.resize(static_cast<std::size_t>(out.graph.num_vertices));
+  for (const auto& [key, w] : edge_weight) {
+    const auto a = static_cast<index_t>(key >> 32);
+    const auto b = static_cast<index_t>(key & 0xffffffffULL);
+    out.graph.add_edge(a, b, w);
+  }
+  return out;
+}
+
+}  // namespace elrec

@@ -1,0 +1,74 @@
+// Index graph construction — paper §IV-C, Algorithm 2.
+//
+// Vertices are the NON-hot indices of one embedding table; an edge connects
+// two indices that appear in the same training batch (local information).
+// Hot indices (top hot_ratio by access frequency — global information) are
+// excluded: they keep their frequency-rank positions in the final bijection.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+/// Weighted undirected graph in adjacency-list form. Self-loops (needed by
+/// Louvain's coarsening, where a community's internal edges fold into its
+/// super-vertex) are stored separately in self_weight.
+struct WeightedGraph {
+  index_t num_vertices = 0;
+  // adjacency[v] = list of (neighbor, weight); both directions stored.
+  std::vector<std::vector<std::pair<index_t, double>>> adjacency;
+  std::vector<double> self_weight;  // self-loop weight per vertex (may be empty)
+  double total_weight = 0.0;  // sum of edge weights incl. self-loops, each once
+
+  void add_edge(index_t u, index_t v, double w);
+  void add_self_loop(index_t v, double w);
+  double self_loop(index_t v) const {
+    return self_weight.empty() ? 0.0
+                               : self_weight[static_cast<std::size_t>(v)];
+  }
+  /// Weighted degree; a self-loop of weight w contributes 2w.
+  double degree(index_t v) const;
+};
+
+struct IndexGraphResult {
+  WeightedGraph graph;             // over compacted cold-vertex ids
+  std::vector<index_t> vertex_of;  // table index -> graph vertex (-1 if hot)
+  std::vector<index_t> index_of;   // graph vertex -> table index
+  std::vector<index_t> frequency_order;  // all indices, hottest first
+  index_t num_hot = 0;
+};
+
+class IndexGraphBuilder {
+ public:
+  /// table_rows: cardinality of the table. hot_ratio: fraction of rows
+  /// pinned as hot. max_pairs_per_batch caps the quadratic
+  /// self_combinations() of Algorithm 2 on very dense batches (excess pairs
+  /// are sampled uniformly; the community structure survives sampling).
+  IndexGraphBuilder(index_t table_rows, double hot_ratio,
+                    index_t max_pairs_per_batch = 1 << 16);
+
+  /// Feeds one batch worth of indices of this table (Algorithm 2 loop body).
+  void add_batch(const std::vector<index_t>& batch_indices);
+
+  /// Finalizes: computes frequency order, splits hot/cold, and assembles the
+  /// cold-index co-occurrence graph.
+  IndexGraphResult build(Prng& rng) const;
+
+  index_t num_batches_seen() const { return num_batches_; }
+
+ private:
+  index_t table_rows_;
+  double hot_ratio_;
+  index_t max_pairs_per_batch_;
+  index_t num_batches_ = 0;
+  std::vector<index_t> access_count_;
+  // Deduped per-batch index sets, kept for the edge-generation pass (the
+  // hot/cold split needs global counts first).
+  std::vector<std::vector<index_t>> batch_sets_;
+};
+
+}  // namespace elrec

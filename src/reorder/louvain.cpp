@@ -1,0 +1,174 @@
+#include "reorder/louvain.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace elrec {
+namespace {
+
+// One Louvain level on `g`: fills community_of (compacted ids) and returns
+// whether any vertex moved.
+bool local_move_phase(const WeightedGraph& g, std::vector<index_t>& community_of,
+                      const LouvainOptions& opts) {
+  const index_t n = g.num_vertices;
+  const double two_m = 2.0 * g.total_weight;
+  if (two_m <= 0.0) {
+    community_of.resize(static_cast<std::size_t>(n));
+    std::iota(community_of.begin(), community_of.end(), index_t{0});
+    return false;
+  }
+
+  std::vector<double> k(static_cast<std::size_t>(n));  // weighted degrees
+  for (index_t v = 0; v < n; ++v) k[static_cast<std::size_t>(v)] = g.degree(v);
+
+  community_of.resize(static_cast<std::size_t>(n));
+  std::iota(community_of.begin(), community_of.end(), index_t{0});
+  std::vector<double> sigma_tot = k;  // total degree per community
+
+  bool any_move = false;
+  for (int pass = 0; pass < opts.max_local_passes; ++pass) {
+    double pass_gain = 0.0;
+    bool moved = false;
+    for (index_t v = 0; v < n; ++v) {
+      const index_t old_c = community_of[static_cast<std::size_t>(v)];
+      // Weights from v into each neighboring community.
+      std::unordered_map<index_t, double> w_to;
+      for (const auto& [u, w] : g.adjacency[static_cast<std::size_t>(v)]) {
+        w_to[community_of[static_cast<std::size_t>(u)]] += w;
+      }
+      // Remove v from its community.
+      sigma_tot[static_cast<std::size_t>(old_c)] -= k[static_cast<std::size_t>(v)];
+
+      index_t best_c = old_c;
+      double best_gain = 0.0;
+      const double w_old = w_to.count(old_c) ? w_to[old_c] : 0.0;
+      const double base =
+          w_old - sigma_tot[static_cast<std::size_t>(old_c)] *
+                      k[static_cast<std::size_t>(v)] / two_m;
+      for (const auto& [c, w] : w_to) {
+        if (c == old_c) continue;
+        const double gain = (w - sigma_tot[static_cast<std::size_t>(c)] *
+                                     k[static_cast<std::size_t>(v)] / two_m) -
+                            base;
+        // Strict improvement required to move; ties broken on community id
+        // so the algorithm is deterministic.
+        if (gain > best_gain + 1e-12 ||
+            (best_c != old_c && std::abs(gain - best_gain) <= 1e-12 &&
+             c < best_c)) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+      community_of[static_cast<std::size_t>(v)] = best_c;
+      sigma_tot[static_cast<std::size_t>(best_c)] += k[static_cast<std::size_t>(v)];
+      if (best_c != old_c) {
+        moved = true;
+        any_move = true;
+        pass_gain += best_gain;
+      }
+    }
+    if (!moved || pass_gain < opts.min_gain) break;
+  }
+
+  // Compact community ids.
+  std::unordered_map<index_t, index_t> remap;
+  for (auto& c : community_of) {
+    auto [it, inserted] = remap.try_emplace(c, static_cast<index_t>(remap.size()));
+    c = it->second;
+  }
+  return any_move;
+}
+
+// Collapses communities into super-vertices; intra-community edges (and the
+// members' own self-loops) become the super-vertex self-loop, which keeps
+// the coarse graph's modularity landscape identical to the fine one.
+WeightedGraph aggregate(const WeightedGraph& g,
+                        const std::vector<index_t>& community_of,
+                        index_t num_communities) {
+  WeightedGraph coarse;
+  coarse.num_vertices = num_communities;
+  coarse.adjacency.resize(static_cast<std::size_t>(num_communities));
+  std::unordered_map<std::uint64_t, double> edges;
+  for (index_t v = 0; v < g.num_vertices; ++v) {
+    const index_t cv = community_of[static_cast<std::size_t>(v)];
+    if (g.self_loop(v) > 0.0) coarse.add_self_loop(cv, g.self_loop(v));
+    for (const auto& [u, w] : g.adjacency[static_cast<std::size_t>(v)]) {
+      if (u < v) continue;  // each undirected edge once
+      const index_t cu = community_of[static_cast<std::size_t>(u)];
+      if (cu == cv) {
+        coarse.add_self_loop(cv, w);
+        continue;
+      }
+      const index_t a = std::min(cu, cv);
+      const index_t b = std::max(cu, cv);
+      edges[(static_cast<std::uint64_t>(a) << 32) |
+            static_cast<std::uint64_t>(b)] += w;
+    }
+  }
+  for (const auto& [key, w] : edges) {
+    coarse.add_edge(static_cast<index_t>(key >> 32),
+                    static_cast<index_t>(key & 0xffffffffULL), w);
+  }
+  return coarse;
+}
+
+}  // namespace
+
+double modularity(const WeightedGraph& graph,
+                  const std::vector<index_t>& community_of) {
+  const double two_m = 2.0 * graph.total_weight;
+  if (two_m <= 0.0) return 0.0;
+  std::unordered_map<index_t, double> sigma_tot;
+  std::unordered_map<index_t, double> sigma_in;  // 2 * internal weight
+  for (index_t v = 0; v < graph.num_vertices; ++v) {
+    const index_t cv = community_of[static_cast<std::size_t>(v)];
+    sigma_tot[cv] += graph.degree(v);
+    sigma_in[cv] += 2.0 * graph.self_loop(v);
+    for (const auto& [u, w] : graph.adjacency[static_cast<std::size_t>(v)]) {
+      if (community_of[static_cast<std::size_t>(u)] == cv) sigma_in[cv] += w;
+    }
+  }
+  double q = 0.0;
+  for (const auto& [c, tot] : sigma_tot) {
+    const double in = sigma_in.count(c) ? sigma_in[c] : 0.0;
+    q += in / two_m - (tot / two_m) * (tot / two_m);
+  }
+  return q;
+}
+
+LouvainResult louvain(const WeightedGraph& graph, LouvainOptions opts) {
+  LouvainResult result;
+  result.community_of.resize(static_cast<std::size_t>(graph.num_vertices));
+  std::iota(result.community_of.begin(), result.community_of.end(), index_t{0});
+  if (graph.num_vertices == 0) return result;
+
+  const WeightedGraph* current = &graph;
+  WeightedGraph owned;
+  for (int level = 0; level < opts.max_levels; ++level) {
+    std::vector<index_t> local;
+    const bool moved = local_move_phase(*current, local, opts);
+    const index_t num_comm =
+        local.empty() ? 0 : *std::max_element(local.begin(), local.end()) + 1;
+    // Project the level's communities onto the original vertices.
+    for (auto& c : result.community_of) {
+      c = local[static_cast<std::size_t>(c)];
+    }
+    if (!moved || num_comm == current->num_vertices) break;
+    owned = aggregate(*current, local, num_comm);
+    current = &owned;
+  }
+
+  result.num_communities =
+      result.community_of.empty()
+          ? 0
+          : *std::max_element(result.community_of.begin(),
+                              result.community_of.end()) +
+                1;
+  result.modularity = modularity(graph, result.community_of);
+  return result;
+}
+
+}  // namespace elrec

@@ -1,0 +1,31 @@
+// Modularity-based community detection (Louvain method) — paper §IV-C.
+//
+// Two alternating phases: (1) greedy local moves maximizing the modularity
+// gain of relocating one vertex into a neighboring community, (2) graph
+// coarsening that collapses each community into a super-vertex. Repeats
+// until no phase-1 improvement.
+#pragma once
+
+#include "reorder/index_graph.hpp"
+
+namespace elrec {
+
+struct LouvainResult {
+  std::vector<index_t> community_of;  // per original vertex
+  index_t num_communities = 0;
+  double modularity = 0.0;
+};
+
+struct LouvainOptions {
+  int max_levels = 10;       // coarsening rounds
+  int max_local_passes = 16; // phase-1 sweeps per level
+  double min_gain = 1e-7;    // stop when a full sweep gains less than this
+};
+
+LouvainResult louvain(const WeightedGraph& graph, LouvainOptions opts = {});
+
+/// Modularity Q of a given partition (paper's Eq. in §IV-C).
+double modularity(const WeightedGraph& graph,
+                  const std::vector<index_t>& community_of);
+
+}  // namespace elrec

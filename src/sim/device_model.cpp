@@ -1,0 +1,51 @@
+#include "sim/device_model.hpp"
+
+namespace elrec {
+
+DeviceSpec v100() {
+  DeviceSpec d;
+  d.name = "Tesla V100";
+  d.fp32_tflops = 15.7;
+  d.hbm_gb = 16.0;
+  d.hbm_gbps = 900.0;
+  d.pcie_gbps = 12.0;     // achievable over PCIe 3.0 x16
+  d.nvlink_gbps = 150.0;  // per-GPU aggregate on p3.8xlarge
+  d.gemm_efficiency = 0.30;
+  d.small_gemm_efficiency = 0.15;
+  d.kernel_overhead_us = 8.0;
+  return d;
+}
+
+DeviceSpec t4() {
+  DeviceSpec d;
+  d.name = "Tesla T4";
+  d.fp32_tflops = 8.1;
+  d.hbm_gb = 16.0;
+  d.hbm_gbps = 320.0;
+  d.pcie_gbps = 12.0;
+  d.nvlink_gbps = 0.0;  // PCIe only on g4dn
+  d.gemm_efficiency = 0.28;
+  d.small_gemm_efficiency = 0.12;
+  d.kernel_overhead_us = 8.0;
+  return d;
+}
+
+HostSpec aws_host() {
+  HostSpec h;
+  h.name = "Xeon host";
+  h.dram_gbps = 60.0;
+  // Effective random-row-gather rate over a tens-of-GB table, including the
+  // PS framework's per-lookup software overhead (the paper's DLRM baseline
+  // runs embedding ops through the PyTorch CPU path).
+  h.gather_gbps = 1.0;
+  // Small tables stay cache/TLB resident; gathers run near DRAM speed.
+  h.small_gather_gbps = 4.0;
+  h.cpu_gflops = 400.0;
+  return h;
+}
+
+double inter_gpu_gbps(const DeviceSpec& dev) {
+  return dev.nvlink_gbps > 0.0 ? dev.nvlink_gbps : dev.pcie_gbps;
+}
+
+}  // namespace elrec

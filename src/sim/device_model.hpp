@@ -1,0 +1,46 @@
+// Analytic device models for the end-to-end experiments.
+//
+// The paper measured on AWS p3.8xlarge (4x V100, NVLink) and g4dn.12xlarge
+// (4x T4, PCIe). Without GPUs in this environment, iteration times for the
+// system-level figures (11/12/13/16) are computed from first-principles
+// roofline terms: FLOPs / achieved-FLOP-rate and bytes / bandwidth, with the
+// FLOP and byte counts taken from the real implementation's counters. The
+// constants below are public datasheet numbers plus standard achieved-
+// efficiency factors; DESIGN.md documents the substitution.
+#pragma once
+
+#include <string>
+
+namespace elrec {
+
+struct DeviceSpec {
+  std::string name;
+  double fp32_tflops = 0.0;       // peak fp32
+  double hbm_gb = 0.0;            // memory capacity
+  double hbm_gbps = 0.0;          // memory bandwidth
+  double pcie_gbps = 0.0;         // host <-> device, per direction
+  double nvlink_gbps = 0.0;       // device <-> device (0: fall back to PCIe)
+  double gemm_efficiency = 0.25;  // achieved fraction of peak for MLP GEMMs
+  double small_gemm_efficiency = 0.06;  // TT-slice batched GEMMs
+  double kernel_overhead_us = 8.0;      // per kernel launch
+};
+
+struct HostSpec {
+  std::string name;
+  double dram_gbps = 0.0;    // streaming bandwidth
+  double gather_gbps = 0.0;  // random-gather bandwidth over huge tables
+  double small_gather_gbps = 0.0;  // gather over cache-friendly small tables
+  double cpu_gflops = 0.0;         // usable CPU compute
+};
+
+/// Nvidia Tesla V100-SXM2 16GB (p3.8xlarge).
+DeviceSpec v100();
+/// Nvidia Tesla T4 16GB (g4dn.12xlarge).
+DeviceSpec t4();
+/// Xeon host of the paper's AWS instances.
+HostSpec aws_host();
+
+/// Device <-> device bandwidth (NVLink if present, else PCIe).
+double inter_gpu_gbps(const DeviceSpec& dev);
+
+}  // namespace elrec

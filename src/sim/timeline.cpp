@@ -1,0 +1,60 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace elrec {
+
+PipelineSimResult simulate_pipeline(const PipelineSimConfig& config,
+                                    index_t num_batches) {
+  ELREC_CHECK(config.queue_capacity >= 1, "queue capacity must be >= 1");
+  ELREC_CHECK(num_batches >= 1, "need at least one batch");
+  ELREC_CHECK(config.jitter >= 0.0 && config.jitter < 1.0,
+              "jitter must be in [0, 1)");
+
+  Prng rng(config.jitter_seed);
+  auto jittered = [&](double base) {
+    if (config.jitter == 0.0) return base;
+    return base * (1.0 + config.jitter * rng.uniform(-1.0, 1.0));
+  };
+  const double server_batch_base =
+      config.server_seconds_per_batch + config.transfer_seconds_per_batch;
+
+  // ready[i]: wall time at which batch i sits in the prefetch queue.
+  // popped[i]: wall time at which the worker dequeues it (slot frees).
+  std::vector<double> ready(static_cast<std::size_t>(num_batches));
+  std::vector<double> popped(static_cast<std::size_t>(num_batches));
+
+  PipelineSimResult r;
+  double server_clock = 0.0;
+  double worker_clock = 0.0;
+  for (index_t i = 0; i < num_batches; ++i) {
+    // The bounded queue blocks the server until a slot frees: batch i can
+    // only be produced once batch i - capacity has been dequeued.
+    if (i >= config.queue_capacity) {
+      server_clock = std::max(
+          server_clock,
+          popped[static_cast<std::size_t>(i - config.queue_capacity)]);
+    }
+    const double server_batch = jittered(server_batch_base);
+    server_clock += server_batch;
+    r.server_busy_seconds += server_batch;
+    ready[static_cast<std::size_t>(i)] = server_clock;
+
+    const double start =
+        std::max(worker_clock, ready[static_cast<std::size_t>(i)]);
+    r.worker_stall_seconds += start - worker_clock;
+    popped[static_cast<std::size_t>(i)] = start;
+    const double worker_batch = jittered(config.worker_seconds_per_batch);
+    worker_clock = start + worker_batch;
+    r.worker_busy_seconds += worker_batch;
+  }
+  // The server still applies the final gradients; fold into makespan.
+  r.makespan_seconds = std::max(worker_clock, server_clock) +
+                       config.server_seconds_per_batch;
+  return r;
+}
+
+}  // namespace elrec

@@ -1,0 +1,41 @@
+// Discrete pipeline timeline simulator (§V / Fig. 16).
+//
+// Models the two-agent pipeline exactly as the runtime implements it: a
+// server producing prefetched batches into a bounded queue and applying
+// pushed gradients, and a worker consuming them. Given per-batch stage
+// durations it replays the event order and reports makespan — so the
+// sequential/pipelined comparison reflects queue capacity and blocking, not
+// just max() vs sum().
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+struct PipelineSimConfig {
+  index_t queue_capacity = 4;
+  double server_seconds_per_batch = 0.0;  // pull + apply-gradients time
+  double worker_seconds_per_batch = 0.0;  // sync + compute + push time
+  double transfer_seconds_per_batch = 0.0;  // H2D copy (serial with server)
+  // Per-batch multiplicative jitter in [1-jitter, 1+jitter] applied to both
+  // stages (independent draws). Real stages vary batch to batch — variable
+  // unique counts, allocator noise — and absorbing that variance is what
+  // queue depth buys beyond depth 1.
+  double jitter = 0.0;
+  std::uint64_t jitter_seed = 1;
+};
+
+struct PipelineSimResult {
+  double makespan_seconds = 0.0;
+  double server_busy_seconds = 0.0;
+  double worker_busy_seconds = 0.0;
+  double worker_stall_seconds = 0.0;  // waiting on the prefetch queue
+};
+
+/// Replays `num_batches` through the bounded-queue pipeline.
+PipelineSimResult simulate_pipeline(const PipelineSimConfig& config,
+                                    index_t num_batches);
+
+}  // namespace elrec

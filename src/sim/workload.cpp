@@ -1,0 +1,206 @@
+#include "sim/workload.hpp"
+
+#include "common/error.hpp"
+
+namespace elrec {
+namespace {
+
+// Per-table TT geometry at the workload's rank.
+struct TTGeom {
+  double n1, n2, n3, r1, r2;
+  double prefix_flops;  // C1*C2: 2 * n1 * (n2 r2) * r1
+  double row_flops;     // P12*C3: 2 * (n1 n2) * n3 * r2
+  double backward_flops_per_row;  // the 4 chain-rule GEMMs
+  double prefix_bytes;            // slices read + slot written
+  double row_bytes;               // slot + C3 slice read, row written
+  double backward_bytes_per_row;  // operands + gradient-slice traffic
+  double param_floats;
+};
+
+TTGeom geometry(index_t rows, index_t dim, index_t rank) {
+  const TTShape shape = TTShape::balanced(rows, dim, 3, rank);
+  TTGeom g;
+  g.n1 = static_cast<double>(shape.col_factor(0));
+  g.n2 = static_cast<double>(shape.col_factor(1));
+  g.n3 = static_cast<double>(shape.col_factor(2));
+  g.r1 = static_cast<double>(shape.rank(1));
+  g.r2 = static_cast<double>(shape.rank(2));
+  g.prefix_flops = 2.0 * g.n1 * (g.n2 * g.r2) * g.r1;
+  g.row_flops = 2.0 * (g.n1 * g.n2) * g.n3 * g.r2;
+  // dC3 + W + dC2 + dC1 (see EffTTTable::accumulate_row_gradient).
+  g.backward_flops_per_row = 2.0 * g.r2 * g.n3 * (g.n1 * g.n2) +
+                             2.0 * (g.n1 * g.n2) * g.r2 * g.n3 +
+                             2.0 * g.r1 * (g.n2 * g.r2) * g.n1 +
+                             2.0 * g.n1 * g.r1 * (g.n2 * g.r2);
+  const double b = sizeof(float);
+  const double c1_slice = g.n1 * g.r1 * b;
+  const double c2_slice = g.r1 * g.n2 * g.r2 * b;
+  const double c3_slice = g.r2 * g.n3 * b;
+  const double slot = g.n1 * g.n2 * g.r2 * b;
+  const double row = g.n1 * g.n2 * g.n3 * b;
+  g.prefix_bytes = c1_slice + c2_slice + slot;
+  g.row_bytes = slot + c3_slice + row;
+  // Read g + P12 + all three slices; write grads of all three slices.
+  g.backward_bytes_per_row =
+      row + slot + (c1_slice + c2_slice + c3_slice) * 2.0;
+  g.param_floats = static_cast<double>(shape.parameter_count());
+  return g;
+}
+
+}  // namespace
+
+DlrmWorkload DlrmWorkload::from_spec(const DatasetSpec& spec,
+                                     index_t batch_size, index_t emb_dim,
+                                     index_t tt_rank) {
+  DlrmWorkload w;
+  w.batch_size = batch_size;
+  w.emb_dim = emb_dim;
+  w.num_dense = spec.num_dense;
+  w.table_rows = spec.table_rows;
+  w.tt_rank = tt_rank;
+  // The paper's DLRM configuration: bottom 512-256-64-d, top 512-256-1.
+  w.bottom_mlp = {spec.num_dense, 512, 256, 64, emb_dim};
+  const index_t f = w.interaction_features();
+  w.top_mlp = {emb_dim + f * (f - 1) / 2, 512, 256, 1};
+  return w;
+}
+
+double DlrmWorkload::embedding_bytes() const {
+  double total = 0.0;
+  for (index_t r : table_rows) total += static_cast<double>(r);
+  return total * emb_dim * sizeof(float);
+}
+
+double DlrmWorkload::large_table_bytes() const {
+  double total = 0.0;
+  for (index_t r : table_rows) {
+    if (r >= tt_rows_threshold) total += static_cast<double>(r);
+  }
+  return total * emb_dim * sizeof(float);
+}
+
+index_t DlrmWorkload::num_large_tables() const {
+  index_t n = 0;
+  for (index_t r : table_rows) n += r >= tt_rows_threshold ? 1 : 0;
+  return n;
+}
+
+double DlrmWorkload::mlp_flops() const {
+  double fwd = 0.0;
+  for (std::size_t l = 0; l + 1 < bottom_mlp.size(); ++l) {
+    fwd += 2.0 * bottom_mlp[l] * bottom_mlp[l + 1];
+  }
+  for (std::size_t l = 0; l + 1 < top_mlp.size(); ++l) {
+    fwd += 2.0 * top_mlp[l] * top_mlp[l + 1];
+  }
+  const double f = static_cast<double>(interaction_features());
+  const double interact = f * (f - 1) / 2 * 2.0 * emb_dim;
+  // fwd + dgrad + wgrad ~ 3x forward cost.
+  return 3.0 * (fwd + interact) * batch_size;
+}
+
+double DlrmWorkload::embedding_lookup_bytes() const {
+  // One index per table per sample (Criteo-style one-hot).
+  return static_cast<double>(batch_size) * num_tables() * emb_dim *
+         sizeof(float);
+}
+
+double DlrmWorkload::pooled_activation_bytes() const {
+  return static_cast<double>(batch_size) * num_tables() * emb_dim *
+         sizeof(float);
+}
+
+double DlrmWorkload::tt_forward_flops(bool reuse) const {
+  double total = 0.0;
+  for (index_t r : table_rows) {
+    if (r < tt_rows_threshold) continue;
+    const TTGeom g = geometry(r, emb_dim, tt_rank);
+    const double occ = static_cast<double>(batch_size);
+    if (reuse) {
+      const double uniq = occ * unique_index_ratio;
+      const double prefixes = uniq * unique_prefix_ratio;
+      total += prefixes * g.prefix_flops + uniq * g.row_flops;
+    } else {
+      total += occ * (g.prefix_flops + g.row_flops);
+    }
+  }
+  return total;
+}
+
+double DlrmWorkload::tt_backward_flops(bool in_advance) const {
+  double total = 0.0;
+  for (index_t r : table_rows) {
+    if (r < tt_rows_threshold) continue;
+    const TTGeom g = geometry(r, emb_dim, tt_rank);
+    const double occ = static_cast<double>(batch_size);
+    if (in_advance) {
+      const double uniq = occ * unique_index_ratio;
+      // Prefix products are reused from the forward pass.
+      total += uniq * g.backward_flops_per_row;
+    } else {
+      // Per occurrence, including a fresh prefix product each time.
+      total += occ * (g.backward_flops_per_row + g.prefix_flops);
+    }
+  }
+  return total;
+}
+
+double DlrmWorkload::tt_forward_bytes(bool reuse) const {
+  double total = 0.0;
+  for (index_t r : table_rows) {
+    if (r < tt_rows_threshold) continue;
+    const TTGeom g = geometry(r, emb_dim, tt_rank);
+    const double occ = static_cast<double>(batch_size);
+    if (reuse) {
+      const double uniq = occ * unique_index_ratio;
+      total += uniq * unique_prefix_ratio * g.prefix_bytes + uniq * g.row_bytes;
+    } else {
+      total += occ * (g.prefix_bytes + g.row_bytes);
+    }
+  }
+  return total;
+}
+
+double DlrmWorkload::tt_backward_bytes(bool in_advance) const {
+  double total = 0.0;
+  for (index_t r : table_rows) {
+    if (r < tt_rows_threshold) continue;
+    const TTGeom g = geometry(r, emb_dim, tt_rank);
+    const double occ = static_cast<double>(batch_size);
+    const double rows_processed =
+        in_advance ? occ * unique_index_ratio : occ;
+    total += rows_processed * (g.backward_bytes_per_row +
+                               (in_advance ? 0.0 : g.prefix_bytes));
+  }
+  return total;
+}
+
+double DlrmWorkload::tt_unfused_update_bytes() const {
+  // Gradient staging copy plus the separate optimizer pass over the touched
+  // slices (TT-Rec stages gradients before updating; §III-B).
+  return 1.0 * tt_parameter_bytes();
+}
+
+double DlrmWorkload::tt_kernel_launches(bool reuse) const {
+  // Two batched-GEMM launches per large table forward, four backward; the
+  // non-reuse path launches the same batched kernels with more products.
+  static_cast<void>(reuse);
+  return 6.0 * num_large_tables();
+}
+
+double DlrmWorkload::small_table_lookup_bytes() const {
+  index_t small = 0;
+  for (index_t r : table_rows) small += r < tt_rows_threshold ? 1 : 0;
+  return static_cast<double>(batch_size) * small * emb_dim * sizeof(float);
+}
+
+double DlrmWorkload::tt_parameter_bytes() const {
+  double total = 0.0;
+  for (index_t r : table_rows) {
+    if (r < tt_rows_threshold) continue;
+    total += geometry(r, emb_dim, tt_rank).param_floats;
+  }
+  return total * sizeof(float);
+}
+
+}  // namespace elrec

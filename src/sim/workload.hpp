@@ -1,0 +1,105 @@
+// Per-iteration operation counts of a DLRM training step.
+//
+// Every cost model in framework_models.* prices the same workload object.
+// The interesting ratios (unique indices per batch, unique TT prefixes per
+// batch, hot coverage) are MEASURED from the synthetic datasets / the real
+// Eff-TT implementation by the calling bench, so the simulator's inputs are
+// grounded in the code that actually runs.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset_spec.hpp"
+#include "tt/tt_shape.hpp"
+
+namespace elrec {
+
+struct DlrmWorkload {
+  index_t batch_size = 4096;
+  index_t emb_dim = 64;
+  index_t num_dense = 13;
+  std::vector<index_t> table_rows;
+  std::vector<index_t> bottom_mlp;  // full layer-size chain {in, ..., d}
+  std::vector<index_t> top_mlp;     // {in, ..., 1}
+  index_t tt_rank = 128;
+  index_t tt_rows_threshold = 1000000;  // tables >= this get TT-compressed
+
+  // Measured input statistics. Defaults reflect Criteo-scale skew at batch
+  // 4096 (Fig. 4b: unique indices are a small fraction of the batch);
+  // benches overwrite them with values measured from the synthetic streams.
+  double unique_index_ratio = 0.12;  // unique rows / total indices (Fig. 4b)
+  double unique_prefix_ratio = 0.5;  // unique prefixes / unique rows
+  double hot_batch_fraction = 0.75;  // FAE: batches trainable purely on GPU
+
+  // TT-Rec kernel slowdowns relative to the Eff-TT kernels. Defaults are
+  // the paper's measured ratios (Figs. 17/18), which bench_fig17/18 verify
+  // against this repo's real kernels; the sim prices TT-Rec from them
+  // rather than from a naive per-occurrence FLOP count (TT-Rec's fused
+  // kernels are better than that worst case).
+  double ttrec_forward_slowdown = 1.83;
+  double ttrec_backward_slowdown = 1.70;
+  // Fraction of TT parameters whose gradient slices a data-parallel
+  // all-reduce must move per iteration (touched slices only).
+  double tt_grad_sync_fraction = 0.5;
+  // Fraction of TT-slice HBM traffic that misses L2: the same C2 slices are
+  // read by many prefix products in one batched launch.
+  double tt_l2_miss = 0.3;
+  // Hot-table skew serializes model-parallel embedding gathers onto the
+  // GPU owning the hottest shard.
+  double model_parallel_imbalance = 3.0;
+  // Fixed per-iteration framework cost (Python dispatch, data loader,
+  // optimizer bookkeeping) common to all PyTorch-based systems.
+  double framework_overhead_s = 0.004;
+  // Latency of one NCCL collective call (launch + sync), dominating
+  // all-to-all cost for small per-table payloads.
+  double collective_latency_s = 75e-6;
+
+  static DlrmWorkload from_spec(const DatasetSpec& spec, index_t batch_size,
+                                index_t emb_dim, index_t tt_rank);
+
+  index_t num_tables() const { return static_cast<index_t>(table_rows.size()); }
+  index_t interaction_features() const { return num_tables() + 1; }
+
+  /// Dense embedding bytes of all tables.
+  double embedding_bytes() const;
+  /// Bytes of the tables that would be TT-compressed (>= threshold).
+  double large_table_bytes() const;
+  /// Number of tables over the TT threshold.
+  index_t num_large_tables() const;
+
+  /// Forward+backward MLP FLOPs per iteration (weights visited 3x: fwd,
+  /// dgrad, wgrad), including the interaction layer's pairwise dots.
+  double mlp_flops() const;
+
+  /// Bytes gathered for one iteration of dense embedding lookup (all
+  /// tables), counting each index occurrence once.
+  double embedding_lookup_bytes() const;
+  /// Same for the scatter-update in the backward pass.
+  double embedding_update_bytes() const { return embedding_lookup_bytes(); }
+  /// Bytes of pooled embeddings shipped host->device per iteration when
+  /// embeddings are computed on the host (PS designs).
+  double pooled_activation_bytes() const;
+
+  /// TT forward FLOPs for the large tables, per iteration.
+  /// `reuse` applies row dedup + prefix sharing (the Eff-TT path).
+  double tt_forward_flops(bool reuse) const;
+  /// TT backward FLOPs; `in_advance` aggregates per unique row first.
+  double tt_backward_flops(bool in_advance) const;
+  /// HBM bytes the TT forward/backward kernels move (roofline partner of
+  /// the FLOP counts: TT-slice GEMMs are small and often bandwidth-bound).
+  double tt_forward_bytes(bool reuse) const;
+  double tt_backward_bytes(bool in_advance) const;
+  /// Extra bytes moved by the unfused TT update (gradient staging copy +
+  /// full-core optimizer sweep), per iteration.
+  double tt_unfused_update_bytes() const;
+  /// Batched-GEMM kernel launches for the TT path (for launch overhead).
+  double tt_kernel_launches(bool reuse) const;
+
+  /// Dense-embedding bytes of the small (non-TT) tables only.
+  double small_table_lookup_bytes() const;
+
+  /// TT parameter bytes at the configured rank (all large tables).
+  double tt_parameter_bytes() const;
+};
+
+}  // namespace elrec

@@ -1,0 +1,34 @@
+#include "tensor/batched_gemm.hpp"
+
+namespace elrec {
+
+BatchedGemmStats& batched_gemm_stats() {
+  thread_local BatchedGemmStats stats;
+  return stats;
+}
+
+void batched_gemm(const BatchedGemmShape& shape,
+                  std::span<const float* const> a,
+                  std::span<const float* const> b, std::span<float* const> c) {
+  ELREC_CHECK(a.size() == b.size() && b.size() == c.size(),
+              "batched_gemm pointer lists must have equal length");
+  auto& stats = batched_gemm_stats();
+  stats.launches += 1;
+
+  std::size_t executed = 0;
+#pragma omp parallel for schedule(static) reduction(+ : executed) \
+    if (a.size() >= 64)
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (c[i] == nullptr) continue;
+    gemm(shape.trans_a, shape.trans_b, shape.m, shape.n, shape.k, shape.alpha,
+         a[i], shape.lda, b[i], shape.ldb, shape.beta, c[i], shape.ldc);
+    ++executed;
+  }
+  stats.products += executed;
+  stats.skipped += a.size() - executed;
+  stats.flops += executed * 2ULL * static_cast<std::size_t>(shape.m) *
+                 static_cast<std::size_t>(shape.n) *
+                 static_cast<std::size_t>(shape.k);
+}
+
+}  // namespace elrec

@@ -1,0 +1,48 @@
+// Pointer-list batched GEMM.
+//
+// Mirrors the interface of cublasGemmBatchedEx that the paper's Algorithm 1
+// feeds: three arrays of device pointers (Ptr_a, Ptr_b, Ptr_c) plus uniform
+// problem dimensions. The Eff-TT pointer-preparation step assembles those
+// lists; this kernel executes every (A_i, B_i, C_i) product.
+#pragma once
+
+#include <span>
+
+#include "tensor/gemm.hpp"
+
+namespace elrec {
+
+/// Uniform problem shape for one batched-GEMM launch.
+struct BatchedGemmShape {
+  index_t m = 0;
+  index_t n = 0;
+  index_t k = 0;
+  index_t lda = 0;  // row stride of each A_i
+  index_t ldb = 0;  // row stride of each B_i
+  index_t ldc = 0;  // row stride of each C_i
+  float alpha = 1.0f;
+  float beta = 0.0f;
+  Trans trans_a = Trans::kNo;
+  Trans trans_b = Trans::kNo;
+};
+
+/// Computes C_i = alpha * op(A_i) * op(B_i) + beta * C_i for every i.
+/// Entries where c[i] == nullptr are skipped — Algorithm 1 leaves gaps for
+/// indices whose prefix product is computed by another thread.
+void batched_gemm(const BatchedGemmShape& shape,
+                  std::span<const float* const> a,
+                  std::span<const float* const> b, std::span<float* const> c);
+
+/// Bookkeeping counters so benchmarks can report launch/FLOP savings.
+struct BatchedGemmStats {
+  std::size_t launches = 0;       // batched_gemm() calls
+  std::size_t products = 0;       // individual GEMMs executed
+  std::size_t skipped = 0;        // nullptr gaps (reuse wins)
+  std::size_t flops = 0;          // 2*m*n*k per executed product
+  void reset() { *this = BatchedGemmStats{}; }
+};
+
+/// Thread-local stats accumulator (enabled unconditionally; negligible cost).
+BatchedGemmStats& batched_gemm_stats();
+
+}  // namespace elrec

@@ -1,0 +1,151 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+
+namespace elrec {
+namespace {
+
+// Cache-blocking parameters tuned for typical L1/L2 sizes; correctness does
+// not depend on them.
+constexpr index_t kBlockM = 64;
+constexpr index_t kBlockN = 128;
+constexpr index_t kBlockK = 256;
+
+// Inner kernel for the NN case: C[i, :] += alpha * A[i, k] * B[k, :].
+// The j-loop over contiguous B rows vectorizes well.
+void gemm_nn_block(index_t m, index_t n, index_t k, float alpha,
+                   const float* a, index_t lda, const float* b, index_t ldb,
+                   float* c, index_t ldc) {
+  for (index_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (index_t kk = 0; kk < k; ++kk) {
+      const float aik = alpha * arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b + kk * ldb;
+      for (index_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+// Generic element accessor honoring transposition.
+inline float elem(const float* p, index_t ld, Trans t, index_t r, index_t c) {
+  return t == Trans::kNo ? p[r * ld + c] : p[c * ld + r];
+}
+
+}  // namespace
+
+void gemm(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k,
+          float alpha, const float* a, index_t lda, const float* b,
+          index_t ldb, float beta, float* c, index_t ldc) {
+  ELREC_DCHECK(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+
+  // Scale C by beta first; the accumulation kernels then just add.
+  if (beta == 0.0f) {
+    for (index_t i = 0; i < m; ++i) {
+      std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+  } else if (beta != 1.0f) {
+    for (index_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      for (index_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  if (k == 0 || alpha == 0.0f) return;
+
+  if (trans_a == Trans::kNo && trans_b == Trans::kNo) {
+    // Blocked NN path — the hot case for every EL-Rec kernel.
+#pragma omp parallel for schedule(static) if (m >= 2 * kBlockM)
+    for (index_t i0 = 0; i0 < m; i0 += kBlockM) {
+      const index_t mb = std::min(kBlockM, m - i0);
+      for (index_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const index_t kb = std::min(kBlockK, k - k0);
+        for (index_t j0 = 0; j0 < n; j0 += kBlockN) {
+          const index_t nb = std::min(kBlockN, n - j0);
+          gemm_nn_block(mb, nb, kb, alpha, a + i0 * lda + k0, lda,
+                        b + k0 * ldb + j0, ldb, c + i0 * ldc + j0, ldc);
+        }
+      }
+    }
+    return;
+  }
+
+  if (trans_a == Trans::kYes && trans_b == Trans::kNo) {
+    // C[i,:] += alpha * A[k,i] * B[k,:]; still streams B rows contiguously.
+#pragma omp parallel for schedule(static) if (m >= 2 * kBlockM)
+    for (index_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      for (index_t kk = 0; kk < k; ++kk) {
+        const float aik = alpha * a[kk * lda + i];
+        if (aik == 0.0f) continue;
+        const float* brow = b + kk * ldb;
+        for (index_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+    return;
+  }
+
+  if (trans_a == Trans::kNo && trans_b == Trans::kYes) {
+    // C[i,j] += alpha * dot(A[i,:], B[j,:]); both rows contiguous.
+#pragma omp parallel for schedule(static) if (m >= 2 * kBlockM)
+    for (index_t i = 0; i < m; ++i) {
+      const float* arow = a + i * lda;
+      float* crow = c + i * ldc;
+      for (index_t j = 0; j < n; ++j) {
+        const float* brow = b + j * ldb;
+        float acc = 0.0f;
+        for (index_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] += alpha * acc;
+      }
+    }
+    return;
+  }
+
+  // TT case — rare; naive loops.
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (index_t kk = 0; kk < k; ++kk) {
+        acc += elem(a, lda, trans_a, i, kk) * elem(b, ldb, trans_b, kk, j);
+      }
+      c[i * ldc + j] += alpha * acc;
+    }
+  }
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& c, Trans trans_a,
+            Trans trans_b) {
+  const index_t m = trans_a == Trans::kNo ? a.rows() : a.cols();
+  const index_t ka = trans_a == Trans::kNo ? a.cols() : a.rows();
+  const index_t kb = trans_b == Trans::kNo ? b.rows() : b.cols();
+  const index_t n = trans_b == Trans::kNo ? b.cols() : b.rows();
+  ELREC_CHECK(ka == kb, "inner dimensions do not match in matmul");
+  c.resize(m, n);
+  gemm(trans_a, trans_b, m, n, ka, 1.0f, a.data(), a.cols(), b.data(),
+       b.cols(), 0.0f, c.data(), c.cols());
+}
+
+void gemv(Trans trans_a, index_t m, index_t n, float alpha, const float* a,
+          index_t lda, const float* x, float beta, float* y) {
+  if (trans_a == Trans::kNo) {
+    for (index_t i = 0; i < m; ++i) {
+      const float* arow = a + i * lda;
+      float acc = 0.0f;
+      for (index_t j = 0; j < n; ++j) acc += arow[j] * x[j];
+      y[i] = beta * (beta == 0.0f ? 0.0f : y[i]) + alpha * acc;
+    }
+  } else {
+    for (index_t j = 0; j < n; ++j) {
+      y[j] = beta * (beta == 0.0f ? 0.0f : y[j]);
+    }
+    for (index_t i = 0; i < m; ++i) {
+      const float xi = alpha * x[i];
+      if (xi == 0.0f) continue;
+      const float* arow = a + i * lda;
+      for (index_t j = 0; j < n; ++j) y[j] += xi * arow[j];
+    }
+  }
+}
+
+}  // namespace elrec

@@ -1,0 +1,29 @@
+// Single-precision GEMM on row-major data.
+//
+// This is the compute substrate standing in for cuBLAS: a blocked, OpenMP-
+// parallel kernel with a BLAS-like pointer interface so that views into
+// larger buffers (TT-core slices, activation slabs) multiply without copies.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+enum class Trans { kNo, kYes };
+
+/// C = alpha * op(A) * op(B) + beta * C, row-major.
+/// op(A) is m x k, op(B) is k x n, C is m x n. lda/ldb/ldc are the leading
+/// dimensions (row strides) of the *stored* matrices.
+void gemm(Trans trans_a, Trans trans_b, index_t m, index_t n, index_t k,
+          float alpha, const float* a, index_t lda, const float* b,
+          index_t ldb, float beta, float* c, index_t ldc);
+
+/// Convenience wrapper: c = op(a) * op(b) with shape checks; resizes c.
+void matmul(const Matrix& a, const Matrix& b, Matrix& c,
+            Trans trans_a = Trans::kNo, Trans trans_b = Trans::kNo);
+
+/// y = op(A) * x (+ beta * y). op(A) is m x n; x has n entries, y has m.
+void gemv(Trans trans_a, index_t m, index_t n, float alpha, const float* a,
+          index_t lda, const float* x, float beta, float* y);
+
+}  // namespace elrec

@@ -1,0 +1,42 @@
+#include "tensor/optimizer.hpp"
+
+#include <cmath>
+
+namespace elrec {
+
+void OptimizerState::ensure_aux() {
+  if (aux_.empty() && config_.kind != OptimizerKind::kSgd) {
+    aux_.assign(num_params_, 0.0f);
+  }
+}
+
+void OptimizerState::update_region(float* w, const float* g,
+                                   std::size_t offset, std::size_t n,
+                                   float lr) {
+  ELREC_DCHECK(offset + n <= num_params_);
+  switch (config_.kind) {
+    case OptimizerKind::kSgd:
+      for (std::size_t i = 0; i < n; ++i) w[i] -= lr * g[i];
+      return;
+    case OptimizerKind::kMomentum: {
+      ensure_aux();
+      float* v = aux_.data() + offset;
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = config_.momentum * v[i] + g[i];
+        w[i] -= lr * v[i];
+      }
+      return;
+    }
+    case OptimizerKind::kAdagrad: {
+      ensure_aux();
+      float* s = aux_.data() + offset;
+      for (std::size_t i = 0; i < n; ++i) {
+        s[i] += g[i] * g[i];
+        w[i] -= lr * g[i] / (std::sqrt(s[i]) + config_.eps);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace elrec

@@ -1,0 +1,66 @@
+// Optimizers shared by the MLP layers and the embedding tables.
+//
+// SGD is the paper's setting; momentum and Adagrad are the standard DLRM
+// extensions. OptimizerState keeps per-parameter auxiliary buffers and
+// supports region updates so the Eff-TT fused backward can update only the
+// touched TT-core slices.
+//
+// Note on sparsity: SGD and Adagrad are "inactive-safe" — parameters with a
+// zero gradient do not move — so touched-slice updates equal a dense pass.
+// Momentum is NOT (velocity keeps coasting); it is therefore intended for
+// the dense MLP layers only.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+enum class OptimizerKind {
+  kSgd,
+  kMomentum,
+  kAdagrad,
+};
+
+struct OptimizerConfig {
+  OptimizerKind kind = OptimizerKind::kSgd;
+  float momentum = 0.9f;  // kMomentum
+  float eps = 1e-8f;      // kAdagrad
+};
+
+/// Auxiliary state for one parameter buffer of fixed size.
+class OptimizerState {
+ public:
+  OptimizerState() = default;
+  OptimizerState(OptimizerConfig config, std::size_t num_params)
+      : config_(config), num_params_(num_params) {}
+
+  void reset(OptimizerConfig config, std::size_t num_params) {
+    config_ = config;
+    num_params_ = num_params;
+    aux_.clear();
+  }
+
+  const OptimizerConfig& config() const { return config_; }
+
+  /// w[offset .. offset+n) -= step(g) for the configured rule.
+  void update_region(float* w, const float* g, std::size_t offset,
+                     std::size_t n, float lr);
+
+  /// Whole-buffer update.
+  void update(std::span<float> w, std::span<const float> g, float lr) {
+    ELREC_DCHECK(w.size() == num_params_ && g.size() == w.size());
+    update_region(w.data(), g.data(), 0, w.size(), lr);
+  }
+
+ private:
+  void ensure_aux();
+
+  OptimizerConfig config_;
+  std::size_t num_params_ = 0;
+  std::vector<float> aux_;  // velocity (momentum) or grad-square sum (adagrad)
+};
+
+}  // namespace elrec

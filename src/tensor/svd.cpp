@@ -1,0 +1,169 @@
+#include "tensor/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace elrec {
+namespace {
+
+// One-sided Jacobi SVD of a tall m x n column-major workspace (m >= n):
+// orthogonalizes column pairs of W until convergence; then W = U * diag(s),
+// and V accumulates the rotations.
+void jacobi_svd_tall(std::vector<double>& w, index_t m, index_t n,
+                     std::vector<double>& v, int max_sweeps, double tol) {
+  // v starts as identity (n x n, column-major).
+  v.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (index_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto col = [&](index_t j) { return w.data() + j * m; };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        const double* cp = col(p);
+        const double* cq = col(q);
+        for (index_t i = 0; i < m; ++i) {
+          app += cp[i] * cp[i];
+          aqq += cq[i] * cq[i];
+          apq += cp[i] * cq[i];
+        }
+        if (std::fabs(apq) <= tol * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        off += std::fabs(apq);
+        // Classic Jacobi rotation zeroing the (p, q) Gram entry.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        double* wp = col(p);
+        double* wq = col(q);
+        for (index_t i = 0; i < m; ++i) {
+          const double a = wp[i];
+          const double b = wq[i];
+          wp[i] = c * a - s * b;
+          wq[i] = s * a + c * b;
+        }
+        double* vp = v.data() + p * n;
+        double* vq = v.data() + q * n;
+        for (index_t i = 0; i < n; ++i) {
+          const double a = vp[i];
+          const double b = vq[i];
+          vp[i] = c * a - s * b;
+          vq[i] = s * a + c * b;
+        }
+      }
+    }
+    if (off == 0.0) break;
+  }
+}
+
+}  // namespace
+
+SvdResult svd(const Matrix& a, int max_sweeps, double tol) {
+  ELREC_CHECK(!a.empty(), "svd of empty matrix");
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const bool transpose = m < n;  // operate on the tall orientation
+  const index_t tm = transpose ? n : m;
+  const index_t tn = transpose ? m : n;
+
+  // Column-major copy of (possibly transposed) A.
+  std::vector<double> w(static_cast<std::size_t>(tm) * tn);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      const double val = a.at(i, j);
+      if (transpose) {
+        w[static_cast<std::size_t>(i) * tm + j] = val;  // column i, row j
+      } else {
+        w[static_cast<std::size_t>(j) * tm + i] = val;  // column j, row i
+      }
+    }
+  }
+
+  std::vector<double> v;
+  jacobi_svd_tall(w, tm, tn, v, max_sweeps, tol);
+
+  // Singular values = column norms of W; columns normalize into U.
+  std::vector<double> sig(static_cast<std::size_t>(tn));
+  for (index_t j = 0; j < tn; ++j) {
+    double norm = 0.0;
+    const double* cj = w.data() + j * tm;
+    for (index_t i = 0; i < tm; ++i) norm += cj[i] * cj[i];
+    sig[static_cast<std::size_t>(j)] = std::sqrt(norm);
+  }
+
+  // Order singular values descending.
+  std::vector<index_t> order(static_cast<std::size_t>(tn));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return sig[static_cast<std::size_t>(x)] > sig[static_cast<std::size_t>(y)];
+  });
+
+  const index_t r = tn;
+  SvdResult out;
+  out.sigma.resize(static_cast<std::size_t>(r));
+  // "tall" factors: TU is tm x r (normalized W columns), TV is tn x r.
+  Matrix tu(tm, r), tv(tn, r);
+  for (index_t jj = 0; jj < r; ++jj) {
+    const index_t j = order[static_cast<std::size_t>(jj)];
+    const double s = sig[static_cast<std::size_t>(j)];
+    out.sigma[static_cast<std::size_t>(jj)] = static_cast<float>(s);
+    const double inv = s > 0.0 ? 1.0 / s : 0.0;
+    const double* cj = w.data() + j * tm;
+    for (index_t i = 0; i < tm; ++i) {
+      tu.at(i, jj) = static_cast<float>(cj[i] * inv);
+    }
+    const double* vj = v.data() + j * tn;
+    for (index_t i = 0; i < tn; ++i) {
+      tv.at(i, jj) = static_cast<float>(vj[i]);
+    }
+  }
+
+  if (!transpose) {
+    out.u = std::move(tu);  // m x r
+    out.vt.resize(r, n);    // vt = TV^T
+    for (index_t i = 0; i < r; ++i) {
+      for (index_t j = 0; j < n; ++j) out.vt.at(i, j) = tv.at(j, i);
+    }
+  } else {
+    // A = (A^T)^T = (TU S TV^T)^T = TV S TU^T — so U = TV, V^T = TU^T.
+    out.u = std::move(tv);  // m x r (tn == m here)
+    out.vt.resize(r, n);
+    for (index_t i = 0; i < r; ++i) {
+      for (index_t j = 0; j < n; ++j) out.vt.at(i, j) = tu.at(j, i);
+    }
+  }
+  return out;
+}
+
+SvdResult svd_truncated(const Matrix& a, index_t rank, double cutoff) {
+  SvdResult full = svd(a);
+  index_t keep = std::min<index_t>(rank, static_cast<index_t>(full.sigma.size()));
+  if (cutoff > 0.0 && !full.sigma.empty()) {
+    const double thresh = cutoff * full.sigma[0];
+    while (keep > 1 && full.sigma[static_cast<std::size_t>(keep - 1)] < thresh) {
+      --keep;
+    }
+  }
+  SvdResult out;
+  out.sigma.assign(full.sigma.begin(), full.sigma.begin() + keep);
+  out.u.resize(full.u.rows(), keep);
+  for (index_t i = 0; i < full.u.rows(); ++i) {
+    for (index_t j = 0; j < keep; ++j) out.u.at(i, j) = full.u.at(i, j);
+  }
+  out.vt.resize(keep, full.vt.cols());
+  for (index_t i = 0; i < keep; ++i) {
+    for (index_t j = 0; j < full.vt.cols(); ++j) {
+      out.vt.at(i, j) = full.vt.at(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace elrec

@@ -1,0 +1,26 @@
+// Singular value decomposition via one-sided Jacobi rotations.
+//
+// TT-SVD (tt/tt_svd.*) repeatedly factorizes unfolding matrices; this solver
+// provides the economy SVD it needs. Computation is done in double for
+// stability and returned as float matrices.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+struct SvdResult {
+  Matrix u;                    // m x r
+  std::vector<float> sigma;    // r singular values, descending
+  Matrix vt;                   // r x n
+};
+
+/// Economy SVD of a (m x n): a = u * diag(sigma) * vt with r = min(m, n).
+/// One-sided Jacobi on the narrower side; max_sweeps bounds the iteration.
+SvdResult svd(const Matrix& a, int max_sweeps = 60, double tol = 1e-12);
+
+/// Truncated SVD keeping at most `rank` singular values (and dropping any
+/// below `cutoff` relative to sigma[0]).
+SvdResult svd_truncated(const Matrix& a, index_t rank, double cutoff = 0.0);
+
+}  // namespace elrec

@@ -1,0 +1,42 @@
+#include "tt/tt_checkpoint.hpp"
+
+#include "common/serialize.hpp"
+
+namespace elrec {
+
+namespace {
+constexpr char kTag[4] = {'E', 'T', 'T', '1'};
+}
+
+void save_tt_cores(const TTCores& cores, const std::string& path) {
+  BinaryWriter w(path);
+  w.write_tag(kTag);
+  const TTShape& shape = cores.shape();
+  w.write_vector(shape.row_factors());
+  w.write_vector(shape.col_factors());
+  w.write_vector(shape.ranks());
+  for (int k = 0; k < shape.num_cores(); ++k) {
+    w.write_array(cores.core(k).data(),
+                  static_cast<std::size_t>(cores.core(k).size()));
+  }
+  w.flush();
+}
+
+TTCores load_tt_cores(const std::string& path) {
+  BinaryReader r(path);
+  r.expect_tag(kTag);
+  auto rows = r.read_vector<index_t>();
+  auto cols = r.read_vector<index_t>();
+  auto ranks = r.read_vector<index_t>();
+  TTShape shape(std::move(rows), std::move(cols), std::move(ranks));
+  TTCores cores(shape);
+  for (int k = 0; k < shape.num_cores(); ++k) {
+    const auto values = r.read_vector<float>();
+    ELREC_CHECK(static_cast<index_t>(values.size()) == cores.core(k).size(),
+                "core size mismatch in checkpoint");
+    std::copy(values.begin(), values.end(), cores.core(k).data());
+  }
+  return cores;
+}
+
+}  // namespace elrec

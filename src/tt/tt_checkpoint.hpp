@@ -1,0 +1,16 @@
+// Checkpointing for TT cores and TT shapes.
+#pragma once
+
+#include <string>
+
+#include "tt/tt_cores.hpp"
+
+namespace elrec {
+
+/// Writes shape + all core parameters.
+void save_tt_cores(const TTCores& cores, const std::string& path);
+
+/// Reads a checkpoint written by save_tt_cores.
+TTCores load_tt_cores(const std::string& path);
+
+}  // namespace elrec

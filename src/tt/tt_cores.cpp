@@ -1,0 +1,81 @@
+#include "tt/tt_cores.hpp"
+
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+
+namespace elrec {
+
+TTCores::TTCores(TTShape shape) : shape_(std::move(shape)) {
+  cores_.resize(static_cast<std::size_t>(shape_.num_cores()));
+  for (int k = 0; k < shape_.num_cores(); ++k) {
+    cores_[static_cast<std::size_t>(k)].resize(
+        shape_.row_factor(k) * shape_.rank(k),
+        shape_.col_factor(k) * shape_.rank(k + 1));
+  }
+}
+
+void TTCores::init_normal(Prng& rng, float target_row_std) {
+  // A reconstructed element is a sum of prod_k R_k products of d core
+  // entries. With iid N(0, s) core entries its variance is
+  // (prod internal ranks) * s^(2d), so
+  //   s = (target^2 / prod R)^(1/(2d)).
+  const int d = shape_.num_cores();
+  double rank_prod = 1.0;
+  for (int k = 1; k < d; ++k) rank_prod *= static_cast<double>(shape_.rank(k));
+  const double s =
+      std::pow(static_cast<double>(target_row_std) * target_row_std /
+                   rank_prod,
+               1.0 / (2.0 * d));
+  for (auto& c : cores_) c.fill_normal(rng, 0.0f, static_cast<float>(s));
+}
+
+float* TTCores::slice(int k, index_t ik) {
+  ELREC_DCHECK(ik >= 0 && ik < shape_.row_factor(k));
+  return core(k).row(ik * shape_.rank(k));
+}
+
+const float* TTCores::slice(int k, index_t ik) const {
+  ELREC_DCHECK(ik >= 0 && ik < shape_.row_factor(k));
+  return core(k).row(ik * shape_.rank(k));
+}
+
+void TTCores::reconstruct_row(index_t row, std::span<float> out) const {
+  const int d = shape_.num_cores();
+  ELREC_CHECK(static_cast<index_t>(out.size()) == shape_.dim(),
+              "output span must have dim() entries");
+  std::vector<index_t> parts(static_cast<std::size_t>(d));
+  shape_.factorize_row(row, parts);
+
+  // prefix holds the running (P x R_k) product, P = n_1..n_{k-1}.
+  std::vector<float> prefix;
+  std::vector<float> next;
+  const float* s0 = slice(0, parts[0]);
+  prefix.assign(s0, s0 + slice_cols(0));  // (n_1 x R_1) row-major
+  index_t p = shape_.col_factor(0);
+  for (int k = 1; k < d; ++k) {
+    const index_t rk = shape_.rank(k);
+    const index_t cols = slice_cols(k);  // n_k * R_{k+1}
+    next.assign(static_cast<std::size_t>(p) * cols, 0.0f);
+    gemm(Trans::kNo, Trans::kNo, p, cols, rk, 1.0f, prefix.data(), rk,
+         slice(k, parts[static_cast<std::size_t>(k)]), cols, 0.0f, next.data(),
+         cols);
+    prefix.swap(next);
+    p *= shape_.col_factor(k);
+  }
+  // Final prefix is (N x 1).
+  ELREC_DCHECK(p == shape_.dim());
+  std::copy(prefix.begin(), prefix.end(), out.begin());
+}
+
+Matrix TTCores::materialize(index_t num_rows) const {
+  ELREC_CHECK(num_rows <= shape_.padded_rows(),
+              "cannot materialize more rows than the padded vocabulary");
+  Matrix out(num_rows, shape_.dim());
+  for (index_t r = 0; r < num_rows; ++r) {
+    reconstruct_row(r, {out.row(r), static_cast<std::size_t>(out.cols())});
+  }
+  return out;
+}
+
+}  // namespace elrec

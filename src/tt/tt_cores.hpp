@@ -1,0 +1,62 @@
+// TT-core storage.
+//
+// Core k holds m_k slices; the slice for row-part index i_k is an
+// R_k x (n_k * R_{k+1}) matrix. Slices are stored stacked in one Matrix per
+// core ((m_k * R_k) rows), so slice pointers are simple row offsets — the
+// layout the batched-GEMM pointer lists of Algorithm 1 address directly.
+//
+// Chained-product shape invariant: multiplying the running prefix
+// (P x R_k, P = n_1..n_{k-1}) by slice k and reinterpreting the result
+// row-major yields (P * n_k) x R_{k+1}; after the last core this is the
+// (N x 1) embedding row.
+#pragma once
+
+#include <span>
+
+#include "tt/tt_shape.hpp"
+
+namespace elrec {
+
+class TTCores {
+ public:
+  explicit TTCores(TTShape shape);
+
+  const TTShape& shape() const { return shape_; }
+
+  /// Gaussian init with per-core stddev chosen so that a reconstructed
+  /// embedding row has approximately stddev `target_row_std` (the product of
+  /// d cores multiplies d sigmas and sums over prod R_k terms).
+  void init_normal(Prng& rng, float target_row_std = 0.01f);
+
+  Matrix& core(int k) { return cores_[static_cast<std::size_t>(k)]; }
+  const Matrix& core(int k) const {
+    return cores_[static_cast<std::size_t>(k)];
+  }
+
+  /// Pointer to the slice of core k selected by row-part index i_k.
+  float* slice(int k, index_t ik);
+  const float* slice(int k, index_t ik) const;
+
+  /// Rows of one slice of core k (== R_k).
+  index_t slice_rows(int k) const { return shape_.rank(k); }
+  /// Cols of one slice of core k (== n_k * R_{k+1}).
+  index_t slice_cols(int k) const {
+    return shape_.col_factor(k) * shape_.rank(k + 1);
+  }
+
+  /// Computes one embedding row into out[0..dim) by chained slice products.
+  void reconstruct_row(index_t row, std::span<float> out) const;
+
+  /// Materializes the full (num_rows x dim) table; num_rows <= padded_rows.
+  Matrix materialize(index_t num_rows) const;
+
+  std::size_t parameter_bytes() const {
+    return shape_.parameter_count() * sizeof(float);
+  }
+
+ private:
+  TTShape shape_;
+  std::vector<Matrix> cores_;
+};
+
+}  // namespace elrec

@@ -1,0 +1,119 @@
+#include "tt/tt_shape.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+TTShape::TTShape(std::vector<index_t> row_factors,
+                 std::vector<index_t> col_factors, std::vector<index_t> ranks)
+    : row_factors_(std::move(row_factors)),
+      col_factors_(std::move(col_factors)),
+      ranks_(std::move(ranks)) {
+  const auto d = row_factors_.size();
+  ELREC_CHECK(d >= 2, "TT decomposition needs at least two cores");
+  ELREC_CHECK(col_factors_.size() == d, "row/col factor count mismatch");
+  ELREC_CHECK(ranks_.size() == d + 1, "ranks must have d+1 entries");
+  ELREC_CHECK(ranks_.front() == 1 && ranks_.back() == 1,
+              "boundary TT ranks must be 1");
+  padded_rows_ = 1;
+  dim_ = 1;
+  for (std::size_t k = 0; k < d; ++k) {
+    ELREC_CHECK(row_factors_[k] > 0 && col_factors_[k] > 0 && ranks_[k] > 0,
+                "TT factors and ranks must be positive");
+    padded_rows_ *= row_factors_[k];
+    dim_ *= col_factors_[k];
+  }
+}
+
+TTShape TTShape::balanced(index_t num_rows, index_t dim, int d, index_t rank) {
+  auto rows = cover_factorize(num_rows, d);
+  auto cols = exact_factorize(dim, d);
+  std::vector<index_t> ranks(static_cast<std::size_t>(d) + 1, rank);
+  ranks.front() = 1;
+  ranks.back() = 1;
+  return TTShape(std::move(rows), std::move(cols), std::move(ranks));
+}
+
+void TTShape::factorize_row(index_t row, std::span<index_t> out) const {
+  ELREC_DCHECK(row >= 0 && row < padded_rows_);
+  ELREC_DCHECK(out.size() == row_factors_.size());
+  // Big-endian mixed radix: the last factor varies fastest (Eq. 3).
+  for (int k = num_cores() - 1; k >= 0; --k) {
+    const index_t m = row_factor(k);
+    out[static_cast<std::size_t>(k)] = row % m;
+    row /= m;
+  }
+}
+
+index_t TTShape::combine_row(std::span<const index_t> parts) const {
+  ELREC_DCHECK(parts.size() == row_factors_.size());
+  index_t row = 0;
+  for (int k = 0; k < num_cores(); ++k) {
+    ELREC_DCHECK(parts[static_cast<std::size_t>(k)] < row_factor(k));
+    row = row * row_factor(k) + parts[static_cast<std::size_t>(k)];
+  }
+  return row;
+}
+
+std::size_t TTShape::parameter_count() const {
+  std::size_t total = 0;
+  for (int k = 0; k < num_cores(); ++k) {
+    total += static_cast<std::size_t>(row_factor(k)) *
+             static_cast<std::size_t>(rank(k)) *
+             static_cast<std::size_t>(col_factor(k)) *
+             static_cast<std::size_t>(rank(k + 1));
+  }
+  return total;
+}
+
+double TTShape::compression_ratio(index_t num_rows) const {
+  const double dense = static_cast<double>(num_rows) * dim();
+  return dense / static_cast<double>(parameter_count());
+}
+
+std::vector<index_t> TTShape::cover_factorize(index_t v, int d) {
+  ELREC_CHECK(v > 0 && d >= 2, "bad cover_factorize arguments");
+  std::vector<index_t> factors(static_cast<std::size_t>(d));
+  index_t remaining = v;
+  for (int k = 0; k < d; ++k) {
+    const int left = d - k;
+    const auto f = static_cast<index_t>(std::ceil(
+        std::pow(static_cast<double>(remaining), 1.0 / left) - 1e-9));
+    factors[static_cast<std::size_t>(k)] = std::max<index_t>(1, f);
+    // ceil-divide so the remaining factors still cover the residue.
+    remaining = (remaining + factors[static_cast<std::size_t>(k)] - 1) /
+                factors[static_cast<std::size_t>(k)];
+  }
+  return factors;
+}
+
+std::vector<index_t> TTShape::exact_factorize(index_t v, int d) {
+  ELREC_CHECK(v > 0 && d >= 2, "bad exact_factorize arguments");
+  // Greedy: peel the divisor closest to the ideal balanced factor.
+  std::vector<index_t> factors(static_cast<std::size_t>(d), 1);
+  index_t remaining = v;
+  for (int k = 0; k < d - 1; ++k) {
+    const int left = d - k;
+    const double ideal = std::pow(static_cast<double>(remaining), 1.0 / left);
+    index_t best = 1;
+    double best_dist = std::abs(1.0 - ideal);
+    for (index_t f = 1; f <= remaining; ++f) {
+      if (remaining % f != 0) continue;
+      const double dist = std::abs(static_cast<double>(f) - ideal);
+      if (dist < best_dist) {
+        best = f;
+        best_dist = dist;
+      }
+      if (f > static_cast<index_t>(ideal) * 2 && best > 1) break;
+    }
+    factors[static_cast<std::size_t>(k)] = best;
+    remaining /= best;
+  }
+  factors[static_cast<std::size_t>(d - 1)] = remaining;
+  return factors;
+}
+
+}  // namespace elrec

@@ -1,0 +1,79 @@
+// Tensor-train shape bookkeeping for embedding tables (paper §II-B, Eq. 3).
+//
+// An M x N embedding table is reshaped into a d-dimensional tensor with mode
+// sizes (m_k * n_k), where M <= prod m_k and N == prod n_k, then represented
+// by d TT cores with ranks R_0..R_d (R_0 = R_d = 1). TTShape owns the
+// factorizations and the mixed-radix index arithmetic.
+#pragma once
+
+#include <span>
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+class TTShape {
+ public:
+  /// row_factors / col_factors are (m_1..m_d) and (n_1..n_d); ranks is the
+  /// full vector (R_0..R_d) and must have R_0 = R_d = 1.
+  TTShape(std::vector<index_t> row_factors, std::vector<index_t> col_factors,
+          std::vector<index_t> ranks);
+
+  /// Convenience: factorize `num_rows` into `d` near-balanced factors (their
+  /// product may exceed num_rows — padding rows are simply never addressed),
+  /// factorize `dim` exactly into d factors (dim must allow it), and use a
+  /// uniform internal rank.
+  static TTShape balanced(index_t num_rows, index_t dim, int d, index_t rank);
+
+  int num_cores() const { return static_cast<int>(row_factors_.size()); }
+  index_t row_factor(int k) const {
+    return row_factors_[static_cast<std::size_t>(k)];
+  }
+  index_t col_factor(int k) const {
+    return col_factors_[static_cast<std::size_t>(k)];
+  }
+  /// R_k for k in [0, d]; rank(0) == rank(d) == 1.
+  index_t rank(int k) const { return ranks_[static_cast<std::size_t>(k)]; }
+
+  const std::vector<index_t>& row_factors() const { return row_factors_; }
+  const std::vector<index_t>& col_factors() const { return col_factors_; }
+  const std::vector<index_t>& ranks() const { return ranks_; }
+
+  /// prod m_k — the padded vocabulary size.
+  index_t padded_rows() const { return padded_rows_; }
+  /// prod n_k — the embedding dimension.
+  index_t dim() const { return dim_; }
+
+  /// Eq. 3: decomposes a flat row index into per-core indices (big-endian
+  /// mixed radix over the m_k).
+  void factorize_row(index_t row, std::span<index_t> out) const;
+
+  /// Inverse of factorize_row.
+  index_t combine_row(std::span<const index_t> parts) const;
+
+  /// Number of float parameters of all cores: sum_k m_k * R_k * n_k * R_{k+1}.
+  std::size_t parameter_count() const;
+
+  /// Compression ratio versus a dense num_rows x dim table.
+  double compression_ratio(index_t num_rows) const;
+
+  /// Convenience: factorize `v` into `d` integer factors, each as close to
+  /// v^(1/d) as possible, whose product is >= v (ceil covering). Exposed for
+  /// dataset/bench code.
+  static std::vector<index_t> cover_factorize(index_t v, int d);
+
+  /// Exact factorization of v into d factors (throws if impossible). Used for
+  /// the embedding dimension, which must not be padded.
+  static std::vector<index_t> exact_factorize(index_t v, int d);
+
+ private:
+  std::vector<index_t> row_factors_;
+  std::vector<index_t> col_factors_;
+  std::vector<index_t> ranks_;
+  index_t padded_rows_ = 0;
+  index_t dim_ = 0;
+};
+
+}  // namespace elrec

@@ -1,0 +1,140 @@
+#include "tt/tt_svd.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "tensor/svd.hpp"
+
+namespace elrec {
+
+TTCores tt_svd(const Matrix& table, const std::vector<index_t>& row_factors,
+               const std::vector<index_t>& col_factors, index_t max_rank,
+               double cutoff) {
+  const int d = static_cast<int>(row_factors.size());
+  ELREC_CHECK(d >= 2 && col_factors.size() == row_factors.size(),
+              "need matching row/col factorizations with d >= 2");
+  index_t padded_rows = 1, dim = 1;
+  std::vector<index_t> mode(static_cast<std::size_t>(d));
+  for (int k = 0; k < d; ++k) {
+    padded_rows *= row_factors[static_cast<std::size_t>(k)];
+    dim *= col_factors[static_cast<std::size_t>(k)];
+    mode[static_cast<std::size_t>(k)] = row_factors[static_cast<std::size_t>(k)] *
+                                        col_factors[static_cast<std::size_t>(k)];
+  }
+  ELREC_CHECK(padded_rows >= table.rows(),
+              "row factorization does not cover the table");
+  ELREC_CHECK(dim == table.cols(), "col factorization must multiply to dim");
+
+  // Scatter the (zero-padded) table into tensor order: flat index is
+  // big-endian over modes D_k with per-mode index t_k = i_k * n_k + j_k.
+  std::size_t tensor_size = 1;
+  for (int k = 0; k < d; ++k) {
+    tensor_size *= static_cast<std::size_t>(mode[static_cast<std::size_t>(k)]);
+  }
+  std::vector<float> tensor(tensor_size, 0.0f);
+  std::vector<index_t> iparts(static_cast<std::size_t>(d));
+  std::vector<index_t> jparts(static_cast<std::size_t>(d));
+  TTShape row_shape(row_factors, col_factors,
+                    [&] {
+                      std::vector<index_t> ones(static_cast<std::size_t>(d) + 1,
+                                                1);
+                      return ones;
+                    }());
+  for (index_t i = 0; i < table.rows(); ++i) {
+    row_shape.factorize_row(i, iparts);
+    for (index_t j = 0; j < table.cols(); ++j) {
+      index_t jj = j;
+      for (int k = d - 1; k >= 0; --k) {
+        const index_t n = col_factors[static_cast<std::size_t>(k)];
+        jparts[static_cast<std::size_t>(k)] = jj % n;
+        jj /= n;
+      }
+      std::size_t flat = 0;
+      for (int k = 0; k < d; ++k) {
+        const index_t t = iparts[static_cast<std::size_t>(k)] *
+                              col_factors[static_cast<std::size_t>(k)] +
+                          jparts[static_cast<std::size_t>(k)];
+        flat = flat * static_cast<std::size_t>(
+                          mode[static_cast<std::size_t>(k)]) +
+               static_cast<std::size_t>(t);
+      }
+      tensor[flat] = table.at(i, j);
+    }
+  }
+
+  // Sequential truncated SVDs over the unfoldings.
+  std::vector<index_t> ranks(static_cast<std::size_t>(d) + 1, 1);
+  std::vector<Matrix> raw_cores(static_cast<std::size_t>(d));
+
+  // Current carry matrix C, shape (R_k * D_k) x tail, stored row-major in
+  // `carry` (initially the whole tensor as D_0 x rest).
+  std::vector<float> carry = std::move(tensor);
+  index_t carry_rows = mode[0];
+  index_t carry_cols = static_cast<index_t>(tensor_size) / mode[0];
+
+  for (int k = 0; k < d - 1; ++k) {
+    Matrix c(carry_rows, carry_cols);
+    std::copy(carry.begin(), carry.end(), c.data());
+    SvdResult f = svd_truncated(c, max_rank, cutoff);
+    const index_t r_next = static_cast<index_t>(f.sigma.size());
+    ranks[static_cast<std::size_t>(k) + 1] = r_next;
+
+    // Core k <- U, reshaped (R_k * D_k) x R_{k+1}.
+    raw_cores[static_cast<std::size_t>(k)] = std::move(f.u);
+
+    // Carry <- diag(S) * Vt, then fold D_{k+1} out of the columns.
+    Matrix sv(r_next, f.vt.cols());
+    for (index_t r = 0; r < r_next; ++r) {
+      const float s = f.sigma[static_cast<std::size_t>(r)];
+      for (index_t jcol = 0; jcol < f.vt.cols(); ++jcol) {
+        sv.at(r, jcol) = s * f.vt.at(r, jcol);
+      }
+    }
+    carry.assign(sv.data(), sv.data() + sv.size());
+    carry_rows = r_next * mode[static_cast<std::size_t>(k) + 1];
+    carry_cols = sv.size() / carry_rows;
+  }
+  // Last core is the remaining carry: (R_{d-1} * D_{d-1}) x 1.
+  {
+    Matrix last(carry_rows, carry_cols);
+    ELREC_CHECK(carry_cols == 1, "final TT-SVD carry must be a column");
+    std::copy(carry.begin(), carry.end(), last.data());
+    raw_cores[static_cast<std::size_t>(d - 1)] = std::move(last);
+  }
+
+  // Repack raw cores (row index r_k * D_k + t_k, col r_{k+1}) into TTCores'
+  // slice layout (slice i_k, row r_k, col j_k * R_{k+1} + r_{k+1}).
+  TTShape shape(row_factors, col_factors, ranks);
+  TTCores cores(shape);
+  for (int k = 0; k < d; ++k) {
+    const Matrix& raw = raw_cores[static_cast<std::size_t>(k)];
+    const index_t rk = shape.rank(k);
+    const index_t rk1 = shape.rank(k + 1);
+    const index_t nk = shape.col_factor(k);
+    for (index_t ik = 0; ik < shape.row_factor(k); ++ik) {
+      float* dst = cores.slice(k, ik);
+      for (index_t r = 0; r < rk; ++r) {
+        for (index_t jk = 0; jk < nk; ++jk) {
+          const index_t t = ik * nk + jk;
+          for (index_t r2 = 0; r2 < rk1; ++r2) {
+            dst[r * (nk * rk1) + jk * rk1 + r2] = raw.at(r * mode[static_cast<std::size_t>(k)] + t, r2);
+          }
+        }
+      }
+    }
+  }
+  return cores;
+}
+
+double tt_reconstruction_error(const TTCores& cores, const Matrix& table) {
+  Matrix rec = cores.materialize(table.rows());
+  double num = 0.0, den = 0.0;
+  for (index_t i = 0; i < table.size(); ++i) {
+    const double diff = static_cast<double>(rec.data()[i]) - table.data()[i];
+    num += diff * diff;
+    den += static_cast<double>(table.data()[i]) * table.data()[i];
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+}  // namespace elrec

@@ -1,0 +1,22 @@
+// TT-SVD: decompose an existing dense embedding table into TT cores
+// (Oseledets' algorithm specialised to the (m_k x n_k) embedding reshape of
+// Eq. 2). Used to convert pretrained tables and to unit-test reconstruction:
+// with full ranks the round trip is exact up to float error.
+#pragma once
+
+#include "tt/tt_cores.hpp"
+
+namespace elrec {
+
+/// Decomposes `table` (num_rows x dim) using the given row/col factorization,
+/// truncating every internal rank to at most `max_rank` (and dropping
+/// singular values below `cutoff` * sigma_max when cutoff > 0).
+/// prod(row_factors) must be >= num_rows; prod(col_factors) == dim.
+TTCores tt_svd(const Matrix& table, const std::vector<index_t>& row_factors,
+               const std::vector<index_t>& col_factors, index_t max_rank,
+               double cutoff = 0.0);
+
+/// Frobenius-norm relative reconstruction error of `cores` against `table`.
+double tt_reconstruction_error(const TTCores& cores, const Matrix& table);
+
+}  // namespace elrec

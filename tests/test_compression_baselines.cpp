@@ -1,0 +1,165 @@
+// Tests for the compression-baseline tables the paper's related work
+// discusses: feature hashing (collisions trade accuracy for memory) and
+// row-wise int8 quantization (training loses sub-step gradients).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/hashed_embedding_bag.hpp"
+#include "embed/quantized_embedding_bag.hpp"
+
+namespace elrec {
+namespace {
+
+TEST(HashedBag, CompressesParameterBytes) {
+  Prng rng(1);
+  HashedEmbeddingBag bag(10000, 100, 8, rng);
+  EXPECT_EQ(bag.parameter_bytes(), 100u * 8u * sizeof(float));
+  EXPECT_EQ(bag.num_rows(), 10000);
+}
+
+TEST(HashedBag, RejectsExpansion) {
+  Prng rng(1);
+  EXPECT_THROW(HashedEmbeddingBag(10, 20, 8, rng), Error);
+}
+
+TEST(HashedBag, HashIsDeterministicAndInRange) {
+  Prng rng(2);
+  HashedEmbeddingBag bag(100000, 128, 4, rng);
+  for (index_t i = 0; i < 1000; i += 13) {
+    const index_t h = bag.hash_index(i);
+    EXPECT_GE(h, 0);
+    EXPECT_LT(h, 128);
+    EXPECT_EQ(h, bag.hash_index(i));
+  }
+}
+
+TEST(HashedBag, CollidingIndicesShareARow) {
+  Prng rng(3);
+  HashedEmbeddingBag bag(100000, 16, 4, rng);
+  // Find two logical indices hashing to the same physical row.
+  index_t a = 0, b = -1;
+  for (index_t i = 1; i < 10000; ++i) {
+    if (bag.hash_index(i) == bag.hash_index(0)) {
+      b = i;
+      break;
+    }
+  }
+  ASSERT_GE(b, 0) << "no collision found (implausible with 16 rows)";
+  Matrix out;
+  bag.forward(IndexBatch::one_per_sample({a, b}), out);
+  for (index_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(out.at(0, j), out.at(1, j));  // the collision in action
+  }
+  // Updating one updates the other — the accuracy hazard of hashing.
+  Matrix grad{{1.0f, 0.0f, 0.0f, 0.0f}};
+  bag.backward_and_update(IndexBatch::one_per_sample({a}), grad, 0.5f);
+  Matrix out2;
+  bag.forward(IndexBatch::one_per_sample({b}), out2);
+  EXPECT_NEAR(out2.at(0, 0), out.at(1, 0) - 0.5f, 1e-6f);
+}
+
+TEST(HashedBag, SpreadsIndicesRoughlyUniformly) {
+  Prng rng(4);
+  HashedEmbeddingBag bag(100000, 64, 4, rng);
+  std::vector<int> counts(64, 0);
+  for (index_t i = 0; i < 6400; ++i) ++counts[static_cast<std::size_t>(bag.hash_index(i))];
+  for (int c : counts) {
+    EXPECT_GT(c, 40);   // expected 100
+    EXPECT_LT(c, 200);
+  }
+}
+
+TEST(QuantizedBag, ParameterBytesAreQuarterPlusScales) {
+  Prng rng(5);
+  QuantizedEmbeddingBag bag(1000, 16, rng);
+  EXPECT_EQ(bag.parameter_bytes(), 1000u * 16u + 1000u * sizeof(float));
+}
+
+TEST(QuantizedBag, DequantizationErrorBounded) {
+  Prng rng(6);
+  QuantizedEmbeddingBag bag(100, 8, rng, 0.1f);
+  std::vector<float> row(8);
+  for (index_t r = 0; r < 100; r += 7) {
+    bag.dequantize_row(r, row);
+    float max_abs = 0.0f;
+    for (float v : row) max_abs = std::max(max_abs, std::fabs(v));
+    // Quantization step = max_abs/127; every stored value is a multiple.
+    for (float v : row) {
+      const float step = max_abs / 127.0f;
+      if (step > 0.0f) {
+        const float ratio = v / step;
+        EXPECT_NEAR(ratio, std::round(ratio), 1e-3f);
+      }
+    }
+  }
+}
+
+TEST(QuantizedBag, ForwardSumsDequantizedRows) {
+  Prng rng(7);
+  QuantizedEmbeddingBag bag(50, 4, rng);
+  std::vector<float> r1(4), r2(4);
+  bag.dequantize_row(3, r1);
+  bag.dequantize_row(9, r2);
+  Matrix out;
+  bag.forward(IndexBatch::from_bags({{3, 9}}), out);
+  for (index_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(out.at(0, j),
+                r1[static_cast<std::size_t>(j)] + r2[static_cast<std::size_t>(j)],
+                1e-6f);
+  }
+}
+
+TEST(QuantizedBag, LargeGradientsApply) {
+  Prng rng(8);
+  QuantizedEmbeddingBag bag(50, 4, rng, 0.1f);
+  std::vector<float> before(4), after(4);
+  bag.dequantize_row(5, before);
+  Matrix grad{{1.0f, 1.0f, 1.0f, 1.0f}};
+  bag.backward_and_update(IndexBatch::one_per_sample({5}), grad, 0.5f);
+  bag.dequantize_row(5, after);
+  for (index_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(after[static_cast<std::size_t>(j)],
+                before[static_cast<std::size_t>(j)] - 0.5f, 0.05f);
+  }
+}
+
+TEST(QuantizedBag, TinyGradientsAreLostToRounding) {
+  // The paper's point about quantized training: updates below half a
+  // quantization step are rounded away, so repeated small gradients make
+  // almost no progress (an fp32 table would accumulate them faithfully).
+  Prng rng(9);
+  QuantizedEmbeddingBag bag(50, 4, rng, 0.1f);
+  std::vector<float> before(4), after(4);
+  bag.dequantize_row(5, before);
+  // Nudge a component that is NOT the row max (the max pins the scale and
+  // is always represented exactly, so it would absorb updates faithfully).
+  index_t target = 0;
+  float max_abs = 0.0f;
+  for (index_t j = 0; j < 4; ++j) {
+    max_abs = std::max(max_abs, std::fabs(before[static_cast<std::size_t>(j)]));
+  }
+  while (std::fabs(before[static_cast<std::size_t>(target)]) == max_abs) {
+    ++target;
+  }
+  Matrix grad(1, 4);
+  grad.at(0, target) = 1e-4f;
+  const int applications = 200;
+  for (int i = 0; i < applications; ++i) {
+    bag.backward_and_update(IndexBatch::one_per_sample({5}), grad, 0.01f);
+  }
+  bag.dequantize_row(5, after);
+  // Every sub-step update was rounded away; an fp32 table would have moved
+  // by 2e-4 (200 * 0.01 * 1e-4).
+  EXPECT_EQ(after[static_cast<std::size_t>(target)],
+            before[static_cast<std::size_t>(target)]);
+}
+
+TEST(QuantizedBag, ParameterVisitationRejected) {
+  Prng rng(10);
+  QuantizedEmbeddingBag bag(10, 4, rng);
+  EXPECT_THROW(bag.visit_parameters([](float*, std::size_t) {}), Error);
+}
+
+}  // namespace
+}  // namespace elrec

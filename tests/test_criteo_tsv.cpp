@@ -1,0 +1,123 @@
+// Tests for the Criteo TSV reader: parsing, missing fields, hashing,
+// malformed-line skipping, batching, and end-of-stream behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "data/criteo_tsv.hpp"
+
+namespace elrec {
+namespace {
+
+CriteoTsvOptions small_options() {
+  CriteoTsvOptions opt;
+  opt.num_dense = 2;
+  opt.table_rows = {100, 50};
+  return opt;
+}
+
+std::unique_ptr<std::istream> stream_of(const std::string& text) {
+  return std::make_unique<std::istringstream>(text);
+}
+
+TEST(CriteoTsv, ParsesWellFormedLines) {
+  // label \t d1 \t d2 \t c1 \t c2
+  CriteoTsvReader reader(stream_of("1\t3\t0\tab12\tcd34\n"
+                                   "0\t1\t5\tef56\t\n"),
+                         small_options());
+  MiniBatch batch;
+  EXPECT_EQ(reader.next_batch(10, batch), 2);
+  EXPECT_EQ(batch.batch_size(), 2);
+  EXPECT_EQ(batch.labels[0], 1.0f);
+  EXPECT_EQ(batch.labels[1], 0.0f);
+  // log1p transform.
+  EXPECT_NEAR(batch.dense.at(0, 0), std::log1p(3.0f), 1e-6f);
+  EXPECT_NEAR(batch.dense.at(1, 1), std::log1p(5.0f), 1e-6f);
+  ASSERT_EQ(batch.sparse.size(), 2u);
+  EXPECT_NO_THROW(batch.sparse[0].validate(100));
+  EXPECT_NO_THROW(batch.sparse[1].validate(50));
+  // Empty categorical maps to bucket 0.
+  EXPECT_EQ(batch.sparse[1].indices[1], 0);
+  EXPECT_EQ(reader.skipped_lines(), 0);
+}
+
+TEST(CriteoTsv, HashIsStableAndBounded) {
+  const index_t h1 = CriteoTsvReader::hash_categorical("ab12", 100);
+  EXPECT_EQ(h1, CriteoTsvReader::hash_categorical("ab12", 100));
+  EXPECT_GE(h1, 0);
+  EXPECT_LT(h1, 100);
+  EXPECT_NE(CriteoTsvReader::hash_categorical("ab12", 1 << 20),
+            CriteoTsvReader::hash_categorical("ab13", 1 << 20));
+}
+
+TEST(CriteoTsv, MissingDenseBecomesZero) {
+  CriteoTsvReader reader(stream_of("1\t\t\tx\ty\n"), small_options());
+  MiniBatch batch;
+  ASSERT_EQ(reader.next_batch(1, batch), 1);
+  EXPECT_EQ(batch.dense.at(0, 0), 0.0f);
+  EXPECT_EQ(batch.dense.at(0, 1), 0.0f);
+}
+
+TEST(CriteoTsv, NegativeDenseClampedByLogTransform) {
+  CriteoTsvReader reader(stream_of("0\t-5\t2\tx\ty\n"), small_options());
+  MiniBatch batch;
+  ASSERT_EQ(reader.next_batch(1, batch), 1);
+  EXPECT_EQ(batch.dense.at(0, 0), 0.0f);  // log1p(max(-5,0)) = 0
+}
+
+TEST(CriteoTsv, RawDenseWhenTransformDisabled) {
+  CriteoTsvOptions opt = small_options();
+  opt.log_transform_dense = false;
+  CriteoTsvReader reader(stream_of("0\t-5\t2\tx\ty\n"), std::move(opt));
+  MiniBatch batch;
+  ASSERT_EQ(reader.next_batch(1, batch), 1);
+  EXPECT_EQ(batch.dense.at(0, 0), -5.0f);
+}
+
+TEST(CriteoTsv, MalformedLinesAreSkippedAndCounted) {
+  CriteoTsvReader reader(stream_of("2\t1\t1\tx\ty\n"       // bad label
+                                   "1\t1\t1\tx\n"          // missing field
+                                   "1\t1\t1\tx\ty\tz\n"    // extra field
+                                   "1\tzz\t1\tx\ty\n"      // bad integer
+                                   "0\t1\t1\tx\ty\n"),     // good
+                         small_options());
+  MiniBatch batch;
+  EXPECT_EQ(reader.next_batch(10, batch), 1);
+  EXPECT_EQ(reader.skipped_lines(), 4);
+}
+
+TEST(CriteoTsv, BatchingAndEndOfStream) {
+  std::string text;
+  for (int i = 0; i < 7; ++i) text += "1\t1\t1\tx\ty\n";
+  CriteoTsvReader reader(stream_of(text), small_options());
+  MiniBatch batch;
+  EXPECT_EQ(reader.next_batch(3, batch), 3);
+  EXPECT_EQ(reader.next_batch(3, batch), 3);
+  EXPECT_EQ(reader.next_batch(3, batch), 1);  // short final batch
+  EXPECT_EQ(reader.next_batch(3, batch), 0);  // drained
+}
+
+TEST(CriteoTsv, MissingFileThrows) {
+  EXPECT_THROW(CriteoTsvReader("/nonexistent/criteo.tsv", small_options()),
+               Error);
+}
+
+TEST(CriteoTsv, FullCriteoShapeParses) {
+  // A realistic Kaggle-format line: 13 dense + 26 categorical.
+  CriteoTsvOptions opt;
+  opt.num_dense = 13;
+  opt.table_rows.assign(26, 1000);
+  std::string line = "1";
+  for (int i = 0; i < 13; ++i) line += "\t" + std::to_string(i);
+  for (int i = 0; i < 26; ++i) line += "\t68fd1e64";
+  line += "\n";
+  CriteoTsvReader reader(stream_of(line), std::move(opt));
+  MiniBatch batch;
+  ASSERT_EQ(reader.next_batch(1, batch), 1);
+  EXPECT_EQ(batch.dense.cols(), 13);
+  EXPECT_EQ(batch.sparse.size(), 26u);
+}
+
+}  // namespace
+}  // namespace elrec

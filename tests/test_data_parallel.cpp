@@ -1,0 +1,142 @@
+// Tests for the data-parallel trainer: minibatch slicing, the parameter-
+// averaging == gradient-averaging identity (W workers vs one full-batch
+// worker), and multi-worker convergence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipeline/data_parallel_trainer.hpp"
+
+namespace elrec {
+namespace {
+
+DatasetSpec tiny_spec() {
+  DatasetSpec spec;
+  spec.name = "dp-tiny";
+  spec.num_dense = 3;
+  spec.table_rows = {2000, 50};
+  spec.num_samples = 1 << 20;
+  spec.zipf_s = 1.1;
+  return spec;
+}
+
+DataParallelConfig base_config(int workers) {
+  DataParallelConfig cfg;
+  cfg.num_workers = workers;
+  cfg.model.num_dense = 3;
+  cfg.model.embedding_dim = 8;
+  cfg.model.bottom_hidden = {16};
+  cfg.model.top_hidden = {16};
+  cfg.tt_rank = 4;
+  cfg.tt_threshold = 1000;  // the 2000-row table becomes Eff-TT
+  cfg.lr = 0.05f;
+  cfg.seed = 13;
+  return cfg;
+}
+
+TEST(SliceMinibatch, SplitsDenseSparseLabels) {
+  MiniBatch b;
+  b.dense = Matrix{{1.0f}, {2.0f}, {3.0f}, {4.0f}};
+  b.labels = {0.0f, 1.0f, 1.0f, 0.0f};
+  b.sparse.push_back(IndexBatch::from_bags({{1}, {2, 3}, {}, {4, 5, 6}}));
+  const MiniBatch s = slice_minibatch(b, 1, 3);
+  EXPECT_EQ(s.batch_size(), 2);
+  EXPECT_FLOAT_EQ(s.dense.at(0, 0), 2.0f);
+  EXPECT_EQ(s.labels[1], 1.0f);
+  ASSERT_EQ(s.sparse[0].batch_size(), 2);
+  EXPECT_EQ(s.sparse[0].bag_size(0), 2);  // {2, 3}
+  EXPECT_EQ(s.sparse[0].bag_size(1), 0);  // {}
+  EXPECT_EQ(s.sparse[0].indices, (std::vector<index_t>{2, 3}));
+  EXPECT_NO_THROW(s.sparse[0].validate(10));
+}
+
+TEST(SliceMinibatch, FullRangeIsIdentity) {
+  MiniBatch b;
+  b.dense = Matrix{{1.0f}, {2.0f}};
+  b.labels = {0.0f, 1.0f};
+  b.sparse.push_back(IndexBatch::one_per_sample({7, 8}));
+  const MiniBatch s = slice_minibatch(b, 0, 2);
+  EXPECT_EQ(s.sparse[0].indices, b.sparse[0].indices);
+  EXPECT_EQ(s.labels, b.labels);
+}
+
+TEST(SliceMinibatch, BadBoundsThrow) {
+  MiniBatch b;
+  b.dense = Matrix{{1.0f}};
+  b.labels = {0.0f};
+  b.sparse.push_back(IndexBatch::one_per_sample({0}));
+  EXPECT_THROW(slice_minibatch(b, 0, 2), Error);
+}
+
+TEST(DataParallel, TwoWorkersMatchFullBatchSingleWorker) {
+  // theta - lr * mean(g_w) == mean_w(theta - lr * g_w): a 2-worker run over
+  // shards must track a 1-worker run over the full batch.
+  const DatasetSpec spec = tiny_spec();
+  DataParallelTrainer two(base_config(2), spec);
+  DataParallelTrainer one(base_config(1), spec);
+  SyntheticDataset data_a(spec, 5);
+  SyntheticDataset data_b(spec, 5);
+
+  two.train(data_a, 8, 64);
+  one.train(data_b, 8, 64);
+
+  // Compare every parameter buffer of worker 0 vs the single worker.
+  std::vector<float> flat_two, flat_one;
+  two.worker_model(0).visit_parameters([&](float* p, std::size_t n) {
+    flat_two.insert(flat_two.end(), p, p + n);
+  });
+  one.worker_model(0).visit_parameters([&](float* p, std::size_t n) {
+    flat_one.insert(flat_one.end(), p, p + n);
+  });
+  ASSERT_EQ(flat_two.size(), flat_one.size());
+  float max_diff = 0.0f;
+  for (std::size_t i = 0; i < flat_two.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(flat_two[i] - flat_one[i]));
+  }
+  // Float summation order differs (per-shard loss means vs full-batch
+  // mean), so allow small drift over 8 steps.
+  EXPECT_LT(max_diff, 2e-3f);
+}
+
+TEST(DataParallel, WorkersStayInSync) {
+  const DatasetSpec spec = tiny_spec();
+  DataParallelTrainer trainer(base_config(3), spec);
+  SyntheticDataset data(spec, 6);
+  trainer.train(data, 5, 48);
+  std::vector<float> w0, w2;
+  trainer.worker_model(0).visit_parameters([&](float* p, std::size_t n) {
+    w0.insert(w0.end(), p, p + n);
+  });
+  trainer.worker_model(2).visit_parameters([&](float* p, std::size_t n) {
+    w2.insert(w2.end(), p, p + n);
+  });
+  ASSERT_EQ(w0.size(), w2.size());
+  for (std::size_t i = 0; i < w0.size(); ++i) {
+    ASSERT_FLOAT_EQ(w0[i], w2[i]) << "divergence at parameter " << i;
+  }
+}
+
+TEST(DataParallel, TrainsAndReportsAllreduceBytes) {
+  const DatasetSpec spec = tiny_spec();
+  DataParallelTrainer trainer(base_config(2), spec);
+  SyntheticDataset data(spec, 7);
+  const DataParallelStats stats = trainer.train(data, 40, 64);
+  EXPECT_EQ(stats.batches, 40);
+  EXPECT_GT(stats.allreduce_bytes, 0.0);
+  double head = 0.0, tail = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    head += stats.loss_curve[static_cast<std::size_t>(i)];
+    tail += stats.loss_curve[stats.loss_curve.size() - 1 - i];
+  }
+  EXPECT_LT(tail, head);
+}
+
+TEST(DataParallel, UnevenSplitRejected) {
+  const DatasetSpec spec = tiny_spec();
+  DataParallelTrainer trainer(base_config(3), spec);
+  SyntheticDataset data(spec, 8);
+  EXPECT_THROW(trainer.train(data, 1, 64), Error);  // 64 % 3 != 0
+}
+
+}  // namespace
+}  // namespace elrec

@@ -1,0 +1,170 @@
+// Broad randomized property sweeps tying the whole stack together:
+//  * Eff-TT == dense-materialization == TT-Rec baseline across a grid of
+//    (rank, batch size, skew) drawn from seeded generators,
+//  * pipeline-vs-oracle equivalence fuzzed over seeds and queue depths,
+//  * TT-SVD -> EffTT round trip: a table decomposed at full rank behaves
+//    exactly like the original dense table inside a DLRM forward pass.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/eff_tt_table.hpp"
+#include "pipeline/pipeline_trainer.hpp"
+#include "tt/tt_svd.hpp"
+#include "tt/tt_table.hpp"
+
+namespace elrec {
+namespace {
+
+struct SweepCase {
+  std::uint64_t seed;
+  index_t rank;
+  index_t batch;
+  double skew;  // quadratic-power exponent for index draws
+};
+
+class EffTTPropertySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(EffTTPropertySweep, ForwardAndBackwardEquivalence) {
+  const SweepCase& c = GetParam();
+  const index_t rows = 3000;
+  const index_t dim = 16;
+  const TTShape shape = TTShape::balanced(rows, dim, 3, c.rank);
+
+  Prng init(c.seed);
+  TTCores cores(shape);
+  cores.init_normal(init, 0.15f);
+  EffTTTable eff(rows, cores);
+  TTTable base(rows, cores);
+
+  Prng rng(c.seed ^ 0xabcdef);
+  for (int step = 0; step < 3; ++step) {
+    std::vector<index_t> idx;
+    for (index_t i = 0; i < c.batch; ++i) {
+      const double u = rng.uniform();
+      idx.push_back(static_cast<index_t>(std::pow(u, c.skew) * (rows - 1)));
+    }
+    const IndexBatch batch = IndexBatch::one_per_sample(idx);
+    Matrix grad(c.batch, dim);
+    grad.fill_normal(rng, 0.0f, 0.05f);
+
+    Matrix oe, ob;
+    eff.forward(batch, oe);
+    base.forward(batch, ob);
+    ASSERT_LT(Matrix::max_abs_diff(oe, ob), 1e-3f)
+        << "seed " << c.seed << " step " << step;
+    eff.backward_and_update(batch, grad, 0.02f);
+    base.backward_and_update(batch, grad, 0.02f);
+  }
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_LT(Matrix::max_abs_diff(eff.cores().core(k), base.cores().core(k)),
+              1e-3f)
+        << "seed " << c.seed << " core " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankBatchSkewGrid, EffTTPropertySweep,
+    ::testing::Values(SweepCase{1, 2, 64, 1.0}, SweepCase{2, 4, 256, 2.0},
+                      SweepCase{3, 8, 128, 3.0}, SweepCase{4, 16, 512, 2.0},
+                      SweepCase{5, 8, 32, 1.0}, SweepCase{6, 4, 1024, 4.0},
+                      SweepCase{7, 16, 64, 1.0}, SweepCase{8, 2, 512, 3.0}));
+
+// ---------------------------------------------------------------------
+
+struct FuzzCase {
+  std::uint64_t seed;
+  index_t depth;
+};
+
+class PipelineFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(PipelineFuzz, AlwaysMatchesSequentialOracle) {
+  const FuzzCase& c = GetParam();
+  const index_t rows = 32, dim = 3;
+  Prng gen(c.seed);
+  std::vector<std::vector<index_t>> batches;
+  const index_t num_batches = 20 + static_cast<index_t>(gen.uniform_index(30));
+  for (index_t b = 0; b < num_batches; ++b) {
+    std::vector<index_t> unique;
+    for (index_t i = 0; i < rows; ++i) {
+      if (gen.bernoulli(0.4)) unique.push_back(i);
+    }
+    if (unique.empty()) unique.push_back(static_cast<index_t>(b % rows));
+    batches.push_back(std::move(unique));
+  }
+
+  const ComputeStep compute = [](index_t batch_id,
+                                 const std::vector<index_t>& indices,
+                                 const Matrix& pulled, Matrix& grads) {
+    grads.resize(pulled.rows(), pulled.cols());
+    for (index_t i = 0; i < pulled.rows(); ++i) {
+      for (index_t j = 0; j < pulled.cols(); ++j) {
+        // Depends on the CURRENT parameter value and the batch id, so any
+        // staleness shifts the trajectory.
+        grads.at(i, j) = pulled.at(i, j) * 0.5f +
+                         0.01f * static_cast<float>((batch_id + indices[
+                             static_cast<std::size_t>(i)]) % 7);
+      }
+    }
+  };
+
+  // Oracle.
+  Prng oracle_rng(c.seed ^ 0x5ca1ab1e);
+  HostEmbeddingStore oracle(rows, dim, oracle_rng);
+  Matrix pulled, grads;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    oracle.pull(batches[b], pulled);
+    compute(static_cast<index_t>(b), batches[b], pulled, grads);
+    oracle.apply_gradients(batches[b], grads, 0.2f);
+  }
+
+  // Pipelined.
+  Prng store_rng(c.seed ^ 0x5ca1ab1e);
+  HostEmbeddingStore store(rows, dim, store_rng);
+  PipelineConfig cfg;
+  cfg.queue_capacity = c.depth;
+  cfg.lr = 0.2f;
+  PipelineTrainer trainer(store, cfg);
+  trainer.run(batches, compute);
+
+  EXPECT_LT(Matrix::max_abs_diff(store.weights(), oracle.weights()), 1e-5f)
+      << "seed " << c.seed << " depth " << c.depth;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDepths, PipelineFuzz,
+    ::testing::Values(FuzzCase{11, 1}, FuzzCase{12, 2}, FuzzCase{13, 3},
+                      FuzzCase{14, 5}, FuzzCase{15, 8}, FuzzCase{16, 13},
+                      FuzzCase{17, 2}, FuzzCase{18, 4}, FuzzCase{19, 7},
+                      FuzzCase{20, 6}));
+
+// ---------------------------------------------------------------------
+
+TEST(TTSvdRoundTrip, DecomposedTableIsDropInEquivalent) {
+  // Dense table -> TT-SVD at full rank -> EffTTTable: lookups agree with
+  // the original to float precision, so a pretrained dense model can be
+  // converted (the TT-Rec / EL-Rec warm-start path).
+  Prng rng(31);
+  Matrix table(60, 12);
+  table.fill_normal(rng, 0.0f, 0.1f);
+  const TTCores cores = tt_svd(table, {4, 4, 4}, {2, 2, 3}, 64);
+  EffTTTable eff(60, cores);
+
+  Prng idx_rng(32);
+  std::vector<index_t> idx;
+  for (int i = 0; i < 64; ++i) {
+    idx.push_back(static_cast<index_t>(idx_rng.uniform_index(60)));
+  }
+  Matrix out;
+  eff.forward(IndexBatch::one_per_sample(idx), out);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    for (index_t j = 0; j < 12; ++j) {
+      EXPECT_NEAR(out.at(static_cast<index_t>(i), j),
+                  table.at(idx[i], j), 1e-3f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace elrec

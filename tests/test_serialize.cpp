@@ -1,0 +1,108 @@
+// Tests for binary serialization and TT-core checkpointing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/serialize.hpp"
+#include "tt/tt_checkpoint.hpp"
+
+namespace elrec {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Serialize, PodRoundTrip) {
+  const std::string path = temp_path("elrec_pod_test.bin");
+  {
+    BinaryWriter w(path);
+    w.write_u64(42);
+    w.write_i64(-7);
+    w.write_f32(1.5f);
+    w.flush();
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.read_u64(), 42u);
+  EXPECT_EQ(r.read_i64(), -7);
+  EXPECT_FLOAT_EQ(r.read_f32(), 1.5f);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  const std::string path = temp_path("elrec_vec_test.bin");
+  const std::vector<float> data{1.0f, -2.0f, 3.5f};
+  const std::vector<index_t> idx{10, 20, 30, 40};
+  {
+    BinaryWriter w(path);
+    w.write_vector(data);
+    w.write_vector(idx);
+    w.flush();
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.read_vector<float>(), data);
+  EXPECT_EQ(r.read_vector<index_t>(), idx);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TagMismatchThrows) {
+  const std::string path = temp_path("elrec_tag_test.bin");
+  {
+    BinaryWriter w(path);
+    w.write_tag("AAAA");
+    w.flush();
+  }
+  BinaryReader r(path);
+  EXPECT_THROW(r.expect_tag("BBBB"), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedFileThrows) {
+  const std::string path = temp_path("elrec_trunc_test.bin");
+  {
+    BinaryWriter w(path);
+    w.write_u64(1000);  // claims 1000 floats but writes none
+    w.flush();
+  }
+  BinaryReader r(path);
+  EXPECT_THROW(r.read_vector<float>(), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(BinaryReader("/nonexistent/path/file.bin"), Error);
+}
+
+TEST(TTCheckpoint, RoundTripPreservesEverything) {
+  Prng rng(9);
+  TTCores cores(TTShape({3, 4, 5}, {2, 2, 3}, {1, 4, 5, 1}));
+  cores.init_normal(rng, 0.3f);
+  const std::string path = temp_path("elrec_tt_ckpt.bin");
+  save_tt_cores(cores, path);
+  const TTCores loaded = load_tt_cores(path);
+  EXPECT_EQ(loaded.shape().row_factors(), cores.shape().row_factors());
+  EXPECT_EQ(loaded.shape().col_factors(), cores.shape().col_factors());
+  EXPECT_EQ(loaded.shape().ranks(), cores.shape().ranks());
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_LT(Matrix::max_abs_diff(loaded.core(k), cores.core(k)), 0.0f + 1e-9f);
+  }
+  // The reconstructed tables agree exactly.
+  EXPECT_LT(Matrix::max_abs_diff(loaded.materialize(55), cores.materialize(55)),
+            1e-9f);
+  std::remove(path.c_str());
+}
+
+TEST(TTCheckpoint, WrongFileRejected) {
+  const std::string path = temp_path("elrec_wrong_ckpt.bin");
+  {
+    BinaryWriter w(path);
+    w.write_tag("JUNK");
+    w.flush();
+  }
+  EXPECT_THROW(load_tt_cores(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace elrec

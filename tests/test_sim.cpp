@@ -1,0 +1,205 @@
+// Tests for the analytic simulator: device specs, workload op counts,
+// framework cost models (the qualitative orderings the paper reports), and
+// the pipeline timeline.
+#include <gtest/gtest.h>
+
+#include "data/dataset_spec.hpp"
+#include "sim/framework_models.hpp"
+#include "sim/timeline.hpp"
+
+namespace elrec {
+namespace {
+
+DlrmWorkload terabyte_workload(const DeviceSpec&) {
+  return DlrmWorkload::from_spec(criteo_terabyte_spec(), 4096, 64, 128);
+}
+
+TEST(DeviceModel, SpecsSane) {
+  const DeviceSpec v = v100();
+  const DeviceSpec t = t4();
+  EXPECT_GT(v.fp32_tflops, t.fp32_tflops);
+  EXPECT_GT(v.hbm_gbps, t.hbm_gbps);
+  EXPECT_GT(inter_gpu_gbps(v), inter_gpu_gbps(t));  // NVLink vs PCIe
+  EXPECT_DOUBLE_EQ(inter_gpu_gbps(t), t.pcie_gbps);
+}
+
+TEST(Workload, FromSpecShapes) {
+  const DlrmWorkload w = terabyte_workload(v100());
+  EXPECT_EQ(w.num_tables(), 26);
+  EXPECT_EQ(w.bottom_mlp.front(), 13);
+  EXPECT_EQ(w.bottom_mlp.back(), 64);
+  EXPECT_EQ(w.top_mlp.back(), 1);
+  EXPECT_GT(w.num_large_tables(), 0);
+  EXPECT_LT(w.num_large_tables(), 26);
+}
+
+TEST(Workload, EmbeddingBytesMatchTableII) {
+  const DlrmWorkload w = terabyte_workload(v100());
+  // Terabyte dense embeddings exceed a 16 GB GPU (the paper's premise).
+  EXPECT_GT(w.embedding_bytes(), 16e9);
+  // TT-compressed parameters are orders of magnitude smaller and fit.
+  EXPECT_LT(w.tt_parameter_bytes(), 1e9);
+}
+
+TEST(Workload, ReuseReducesForwardFlops) {
+  DlrmWorkload w = terabyte_workload(v100());
+  w.unique_index_ratio = 0.4;
+  w.unique_prefix_ratio = 0.5;
+  EXPECT_LT(w.tt_forward_flops(true), 0.6 * w.tt_forward_flops(false));
+}
+
+TEST(Workload, InAdvanceAggregationReducesBackwardFlops) {
+  DlrmWorkload w = terabyte_workload(v100());
+  w.unique_index_ratio = 0.4;
+  EXPECT_LT(w.tt_backward_flops(true), 0.6 * w.tt_backward_flops(false));
+}
+
+TEST(Workload, BackwardCostsMoreThanForward) {
+  // The paper: TT backward is the dominant phase (Fig. 14 discussion).
+  const DlrmWorkload w = terabyte_workload(v100());
+  EXPECT_GT(w.tt_backward_flops(false), w.tt_forward_flops(false));
+}
+
+TEST(FrameworkModels, ElRecBeatsDlrmPsByAboutThreeTimes) {
+  // Fig. 11 headline: ~3x on V100 (band 2x-5x accepted).
+  const DeviceSpec dev = v100();
+  const HostSpec host = aws_host();
+  const DlrmWorkload w = terabyte_workload(dev);
+  const double t_dlrm = model_dlrm_ps(w, dev, host).total_sequential();
+  const double t_elrec = model_elrec(w, dev).total_sequential();
+  const double speedup = t_dlrm / t_elrec;
+  EXPECT_GT(speedup, 2.0);
+  EXPECT_LT(speedup, 6.0);
+}
+
+TEST(FrameworkModels, OrderingMatchesFig11) {
+  // EL-Rec < TT-Rec < FAE < DLRM in iteration time, on both devices.
+  for (const DeviceSpec& dev : {v100(), t4()}) {
+    const HostSpec host = aws_host();
+    for (const DatasetSpec& spec : paper_dataset_specs()) {
+      const DlrmWorkload w = DlrmWorkload::from_spec(
+          spec, 4096, 64, dev.name == "Tesla V100" ? 128 : 64);
+      const double t_dlrm = model_dlrm_ps(w, dev, host).total_sequential();
+      const double t_fae = model_fae(w, dev, host).total_sequential();
+      const double t_ttrec = model_ttrec(w, dev).total_sequential();
+      const double t_elrec = model_elrec(w, dev).total_sequential();
+      EXPECT_LT(t_elrec, t_ttrec) << dev.name << " " << spec.name;
+      EXPECT_LT(t_ttrec, t_fae) << dev.name << " " << spec.name;
+      EXPECT_LT(t_fae, t_dlrm) << dev.name << " " << spec.name;
+    }
+  }
+}
+
+TEST(FrameworkModels, MultiGpuElRecScalesBetterThanDlrm) {
+  // Fig. 12: EL-Rec 4-GPU beats DLRM 4-GPU; DLRM 1-GPU slightly beats
+  // EL-Rec 1-GPU (TT adds compute when memory is not the constraint).
+  const DeviceSpec dev = v100();
+  const DlrmWorkload w = terabyte_workload(dev);
+  const double el1 = model_elrec_multi(w, dev, 1).total_sequential();
+  const double el4 = model_elrec_multi(w, dev, 4).total_sequential();
+  const double dl1 = model_dlrm_multi(w, dev, 1).total_sequential();
+  const double dl4 = model_dlrm_multi(w, dev, 4).total_sequential();
+  EXPECT_LT(el4, el1);          // scaling helps
+  EXPECT_LT(el4, dl4);          // EL-Rec wins at 4 GPUs
+  EXPECT_LT(dl1, el1);          // DLRM wins at 1 GPU (paper's observation)
+}
+
+TEST(FrameworkModels, LargeTableOrderingMatchesFig13) {
+  // Fig. 13 (40M x 128 single table): EL-Rec > HugeCTR > TorchRec
+  // in throughput at 2-4 GPUs.
+  const DeviceSpec dev = v100();
+  DatasetSpec spec;
+  spec.name = "40M single table";
+  spec.num_dense = 13;
+  spec.table_rows = {40000000};
+  DlrmWorkload w = DlrmWorkload::from_spec(spec, 4096, 128, 64);
+  // The paper's margin over HugeCTR is thin (1.07x on average): allow a
+  // near-tie at 2 GPUs, require a strict win at 4 (collective latency
+  // grows with participants while EL-Rec's single all-reduce does not).
+  for (int gpus : {2, 4}) {
+    const double el =
+        model_elrec_large_table(w, dev, gpus).total_sequential();
+    const double hc =
+        model_hugectr_large_table(w, dev, gpus).total_sequential();
+    const double tr =
+        model_torchrec_large_table(w, dev, gpus).total_sequential();
+    if (gpus == 2) {
+      EXPECT_LT(el, hc * 1.02) << gpus << " GPUs";
+    } else {
+      EXPECT_LT(el, hc) << gpus << " GPUs";
+    }
+    EXPECT_LT(hc, tr) << gpus << " GPUs";
+  }
+}
+
+TEST(FrameworkModels, HybridPipelineBeatsSequential) {
+  // Fig. 16: pipelined EL-Rec ~1.3x over sequential EL-Rec, both well ahead
+  // of the DLRM PS baseline.
+  const DeviceSpec dev = v100();
+  const HostSpec host = aws_host();
+  const DlrmWorkload w = terabyte_workload(dev);
+  const IterationCost hybrid = model_elrec_hybrid(w, dev, host, true);
+  const double t_seq = hybrid.total_sequential();
+  const double t_pipe = hybrid.total_pipelined();
+  EXPECT_LT(t_pipe, t_seq);
+  const double t_dlrm =
+      model_dlrm_ps(w, dev, host).total_sequential();
+  EXPECT_GT(t_dlrm / t_pipe, 1.5);
+}
+
+TEST(IterationCostTest, PipelinedTotalsOverlapCpuAndGpu) {
+  IterationCost c;
+  c.components["cpu:a"] = 2.0;
+  c.components["gpu:b"] = 3.0;
+  c.components["serial:c"] = 1.0;
+  EXPECT_DOUBLE_EQ(c.total_sequential(), 6.0);
+  EXPECT_DOUBLE_EQ(c.total_pipelined(), 4.0);
+  EXPECT_DOUBLE_EQ(c.throughput(8, true), 2.0);
+}
+
+TEST(TimelineSim, SequentialEqualsSumPipelinedEqualsMax) {
+  PipelineSimConfig cfg;
+  cfg.server_seconds_per_batch = 1.0;
+  cfg.worker_seconds_per_batch = 2.0;
+  cfg.queue_capacity = 1;
+  // Depth-1: server and worker strictly alternate after warm-up? With
+  // capacity 1 the server can run one batch ahead, so steady state is
+  // max(server, worker) per batch — the paper's "Sequential" still
+  // overlaps the single-slot prefetch. Verify monotonicity instead of
+  // exact constants, plus busy-time accounting.
+  const PipelineSimResult r1 = simulate_pipeline(cfg, 50);
+  cfg.queue_capacity = 4;
+  const PipelineSimResult r4 = simulate_pipeline(cfg, 50);
+  EXPECT_LE(r4.makespan_seconds, r1.makespan_seconds + 1e-9);
+  EXPECT_DOUBLE_EQ(r4.worker_busy_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(r4.server_busy_seconds, 50.0);
+  // Worker-bound pipeline: makespan ~ worker busy time + warmup.
+  EXPECT_LT(r4.makespan_seconds, 100.0 + 5.0);
+}
+
+TEST(TimelineSim, ServerBoundPipelineGatedByServer) {
+  PipelineSimConfig cfg;
+  cfg.server_seconds_per_batch = 3.0;
+  cfg.worker_seconds_per_batch = 1.0;
+  cfg.queue_capacity = 8;
+  const PipelineSimResult r = simulate_pipeline(cfg, 20);
+  EXPECT_GE(r.makespan_seconds, 60.0);
+  EXPECT_GT(r.worker_stall_seconds, 0.0);
+}
+
+TEST(TimelineSim, DeeperQueuesNeverHurt) {
+  PipelineSimConfig cfg;
+  cfg.server_seconds_per_batch = 1.0;
+  cfg.worker_seconds_per_batch = 1.5;
+  cfg.transfer_seconds_per_batch = 0.25;
+  double prev = 1e30;
+  for (index_t depth : {1, 2, 4, 8}) {
+    cfg.queue_capacity = depth;
+    const double t = simulate_pipeline(cfg, 64).makespan_seconds;
+    EXPECT_LE(t, prev + 1e-9) << "depth " << depth;
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace elrec

@@ -1,0 +1,138 @@
+// Tests for the one-sided Jacobi SVD: reconstruction, orthogonality,
+// ordering, truncation error bounds — on tall, wide, and square inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+#include "tensor/svd.hpp"
+
+namespace elrec {
+namespace {
+
+Matrix reconstruct(const SvdResult& f) {
+  Matrix us(f.u.rows(), f.u.cols());
+  for (index_t i = 0; i < f.u.rows(); ++i) {
+    for (index_t j = 0; j < f.u.cols(); ++j) {
+      us.at(i, j) = f.u.at(i, j) * f.sigma[static_cast<std::size_t>(j)];
+    }
+  }
+  Matrix rec;
+  matmul(us, f.vt, rec);
+  return rec;
+}
+
+double orthogonality_error(const Matrix& q) {
+  // || Q^T Q - I ||_max over columns.
+  Matrix gram;
+  matmul(q, q, gram, Trans::kYes, Trans::kNo);
+  double err = 0.0;
+  for (index_t i = 0; i < gram.rows(); ++i) {
+    for (index_t j = 0; j < gram.cols(); ++j) {
+      const double target = i == j ? 1.0 : 0.0;
+      err = std::max(err, std::fabs(gram.at(i, j) - target));
+    }
+  }
+  return err;
+}
+
+class SvdShapeTest : public ::testing::TestWithParam<std::pair<index_t, index_t>> {};
+
+TEST_P(SvdShapeTest, ReconstructsInput) {
+  const auto [m, n] = GetParam();
+  Prng rng(321);
+  Matrix a(m, n);
+  a.fill_normal(rng);
+  const SvdResult f = svd(a);
+  const Matrix rec = reconstruct(f);
+  EXPECT_LT(Matrix::max_abs_diff(a, rec), 1e-3f);
+}
+
+TEST_P(SvdShapeTest, FactorsAreOrthonormal) {
+  const auto [m, n] = GetParam();
+  Prng rng(654);
+  Matrix a(m, n);
+  a.fill_normal(rng);
+  const SvdResult f = svd(a);
+  EXPECT_LT(orthogonality_error(f.u), 1e-3);
+  // vt rows orthonormal == (vt^T) columns orthonormal.
+  Matrix v(f.vt.cols(), f.vt.rows());
+  for (index_t i = 0; i < f.vt.rows(); ++i) {
+    for (index_t j = 0; j < f.vt.cols(); ++j) v.at(j, i) = f.vt.at(i, j);
+  }
+  EXPECT_LT(orthogonality_error(v), 1e-3);
+}
+
+TEST_P(SvdShapeTest, SingularValuesDescendingNonNegative) {
+  const auto [m, n] = GetParam();
+  Prng rng(987);
+  Matrix a(m, n);
+  a.fill_normal(rng);
+  const SvdResult f = svd(a);
+  for (std::size_t i = 0; i + 1 < f.sigma.size(); ++i) {
+    EXPECT_GE(f.sigma[i], f.sigma[i + 1]);
+  }
+  EXPECT_GE(f.sigma.back(), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapeTest,
+                         ::testing::Values(std::make_pair<index_t, index_t>(8, 8),
+                                           std::make_pair<index_t, index_t>(20, 6),
+                                           std::make_pair<index_t, index_t>(6, 20),
+                                           std::make_pair<index_t, index_t>(1, 5),
+                                           std::make_pair<index_t, index_t>(5, 1),
+                                           std::make_pair<index_t, index_t>(50, 30)));
+
+TEST(Svd, ExactOnRankDeficientMatrix) {
+  // Rank-2 matrix: outer products.
+  Prng rng(11);
+  Matrix u(10, 2), v(2, 8);
+  u.fill_normal(rng);
+  v.fill_normal(rng);
+  Matrix a;
+  matmul(u, v, a);
+  const SvdResult f = svd(a);
+  // Only two non-negligible singular values.
+  for (std::size_t i = 2; i < f.sigma.size(); ++i) {
+    EXPECT_LT(f.sigma[i], 1e-3f);
+  }
+  EXPECT_GT(f.sigma[1], 1e-2f);
+}
+
+TEST(Svd, TruncationErrorMatchesDroppedMass) {
+  Prng rng(22);
+  Matrix a(16, 12);
+  a.fill_normal(rng);
+  const SvdResult full = svd(a);
+  const index_t keep = 5;
+  const SvdResult trunc = svd_truncated(a, keep);
+  ASSERT_EQ(static_cast<index_t>(trunc.sigma.size()), keep);
+
+  const Matrix rec = reconstruct(trunc);
+  double err_sq = 0.0;
+  for (index_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - rec.data()[i];
+    err_sq += d * d;
+  }
+  double dropped_sq = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(keep); i < full.sigma.size(); ++i) {
+    dropped_sq += static_cast<double>(full.sigma[i]) * full.sigma[i];
+  }
+  // Eckart–Young: truncated-SVD error equals the dropped singular mass.
+  EXPECT_NEAR(err_sq, dropped_sq, 1e-2 * (1.0 + dropped_sq));
+}
+
+TEST(Svd, CutoffDropsSmallValues) {
+  Matrix a{{10.0f, 0.0f}, {0.0f, 1e-4f}};
+  const SvdResult f = svd_truncated(a, 2, 1e-2);
+  EXPECT_EQ(f.sigma.size(), 1u);
+  EXPECT_NEAR(f.sigma[0], 10.0f, 1e-4f);
+}
+
+TEST(Svd, EmptyMatrixThrows) {
+  Matrix a;
+  EXPECT_THROW(svd(a), Error);
+}
+
+}  // namespace
+}  // namespace elrec

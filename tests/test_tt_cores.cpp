@@ -1,0 +1,108 @@
+// Tests for TT-core storage: slice layout, row reconstruction, the
+// chained-product shape invariant, and init statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tt/tt_cores.hpp"
+
+namespace elrec {
+namespace {
+
+TEST(TTCores, CoreShapes) {
+  TTCores cores(TTShape({4, 5, 6}, {2, 3, 4}, {1, 7, 8, 1}));
+  EXPECT_EQ(cores.core(0).rows(), 4 * 1);
+  EXPECT_EQ(cores.core(0).cols(), 2 * 7);
+  EXPECT_EQ(cores.core(1).rows(), 5 * 7);
+  EXPECT_EQ(cores.core(1).cols(), 3 * 8);
+  EXPECT_EQ(cores.core(2).rows(), 6 * 8);
+  EXPECT_EQ(cores.core(2).cols(), 4 * 1);
+  EXPECT_EQ(cores.slice_rows(1), 7);
+  EXPECT_EQ(cores.slice_cols(1), 24);
+}
+
+TEST(TTCores, SlicePointersAreRowOffsets) {
+  TTCores cores(TTShape({4, 5, 6}, {2, 3, 4}, {1, 7, 8, 1}));
+  EXPECT_EQ(cores.slice(1, 0), cores.core(1).row(0));
+  EXPECT_EQ(cores.slice(1, 2), cores.core(1).row(14));
+}
+
+TEST(TTCores, ReconstructMatchesManualChain) {
+  // 2-core table: row = C1[i1] (n1 x R1) * C2[i2] (R1 x n2), checked by hand.
+  TTCores cores(TTShape({2, 2}, {2, 2}, {1, 2, 1}));
+  // C1 slices: slice i1 is 1 row of 4 floats == (2 x 2).
+  cores.core(0) = Matrix{{1.0f, 2.0f, 3.0f, 4.0f},
+                         {5.0f, 6.0f, 7.0f, 8.0f}};
+  // C2 slices: slice i2 is 2 rows x 2 cols.
+  cores.core(1) = Matrix{{1.0f, 0.0f}, {0.0f, 1.0f},   // i2=0: identity
+                         {1.0f, 1.0f}, {1.0f, -1.0f}}; // i2=1
+  std::vector<float> row(4);
+  // Row (i1=0, i2=0): A1 = [[1,2],[3,4]]; identity C2 -> flatten = 1,2,3,4.
+  cores.reconstruct_row(0, row);
+  EXPECT_FLOAT_EQ(row[0], 1.0f);
+  EXPECT_FLOAT_EQ(row[1], 2.0f);
+  EXPECT_FLOAT_EQ(row[2], 3.0f);
+  EXPECT_FLOAT_EQ(row[3], 4.0f);
+  // Row (i1=0, i2=1): [[1,2],[3,4]] * [[1,1],[1,-1]] = [[3,-1],[7,-1]].
+  cores.reconstruct_row(1, row);
+  EXPECT_FLOAT_EQ(row[0], 3.0f);
+  EXPECT_FLOAT_EQ(row[1], -1.0f);
+  EXPECT_FLOAT_EQ(row[2], 7.0f);
+  EXPECT_FLOAT_EQ(row[3], -1.0f);
+}
+
+TEST(TTCores, MaterializeMatchesPerRowReconstruction) {
+  Prng rng(42);
+  TTCores cores(TTShape({3, 4, 5}, {2, 2, 3}, {1, 4, 5, 1}));
+  cores.init_normal(rng, 0.1f);
+  const Matrix table = cores.materialize(60);
+  std::vector<float> row(12);
+  for (index_t r = 0; r < 60; r += 7) {
+    cores.reconstruct_row(r, row);
+    for (index_t j = 0; j < 12; ++j) {
+      EXPECT_FLOAT_EQ(table.at(r, j), row[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+TEST(TTCores, MaterializeRejectsTooManyRows) {
+  Prng rng(1);
+  TTCores cores(TTShape({2, 2, 2}, {2, 2, 2}, {1, 2, 2, 1}));
+  cores.init_normal(rng);
+  EXPECT_THROW(cores.materialize(9), Error);
+}
+
+TEST(TTCores, InitNormalHitsTargetRowStd) {
+  Prng rng(7);
+  TTCores cores(TTShape({8, 8, 8}, {4, 4, 4}, {1, 16, 16, 1}));
+  const float target = 0.05f;
+  cores.init_normal(rng, target);
+  const Matrix table = cores.materialize(512);
+  double sq = 0.0;
+  for (index_t i = 0; i < table.size(); ++i) {
+    sq += static_cast<double>(table.data()[i]) * table.data()[i];
+  }
+  const double std_measured = std::sqrt(sq / static_cast<double>(table.size()));
+  // Product-of-gaussians tails are heavy; accept a generous factor-2 band.
+  EXPECT_GT(std_measured, target / 2);
+  EXPECT_LT(std_measured, target * 2);
+}
+
+TEST(TTCores, ParameterBytes) {
+  TTCores cores(TTShape({4, 5, 6}, {2, 2, 4}, {1, 8, 8, 1}));
+  EXPECT_EQ(cores.parameter_bytes(), (64u + 640u + 192u) * sizeof(float));
+}
+
+TEST(TTCores, FourCoreReconstructionWorks) {
+  Prng rng(9);
+  TTCores cores(TTShape({2, 3, 2, 3}, {2, 2, 2, 2}, {1, 3, 4, 3, 1}));
+  cores.init_normal(rng, 0.1f);
+  const Matrix table = cores.materialize(36);
+  EXPECT_EQ(table.rows(), 36);
+  EXPECT_EQ(table.cols(), 16);
+  // Sanity: not all zero.
+  EXPECT_GT(table.frobenius_norm(), 0.0f);
+}
+
+}  // namespace
+}  // namespace elrec

@@ -1,0 +1,112 @@
+// Tests for TT shape bookkeeping: factorizations, Eq. 3 index arithmetic,
+// parameter counting, and compression ratios.
+#include <gtest/gtest.h>
+
+#include "tt/tt_shape.hpp"
+
+namespace elrec {
+namespace {
+
+TEST(TTShape, BasicAccessors) {
+  TTShape s({4, 5, 6}, {2, 2, 4}, {1, 8, 8, 1});
+  EXPECT_EQ(s.num_cores(), 3);
+  EXPECT_EQ(s.padded_rows(), 120);
+  EXPECT_EQ(s.dim(), 16);
+  EXPECT_EQ(s.rank(0), 1);
+  EXPECT_EQ(s.rank(1), 8);
+  EXPECT_EQ(s.rank(3), 1);
+}
+
+TEST(TTShape, RejectsBadRanks) {
+  EXPECT_THROW(TTShape({2, 2}, {2, 2}, {2, 4, 1}), Error);  // R_0 != 1
+  EXPECT_THROW(TTShape({2, 2}, {2, 2}, {1, 4, 2}), Error);  // R_d != 1
+  EXPECT_THROW(TTShape({2, 2}, {2, 2}, {1, 4}), Error);     // wrong length
+}
+
+TEST(TTShape, RejectsMismatchedFactors) {
+  EXPECT_THROW(TTShape({2, 2, 2}, {2, 2}, {1, 4, 4, 1}), Error);
+}
+
+TEST(TTShape, RejectsSingleCore) {
+  EXPECT_THROW(TTShape({4}, {4}, {1, 1}), Error);
+}
+
+TEST(TTShape, FactorizeRowMatchesEquation3) {
+  // Paper Eq. 3: i_k = (i / prod_{l>k} m_l) mod m_k.
+  TTShape s({3, 4, 5}, {2, 2, 2}, {1, 2, 2, 1});
+  std::vector<index_t> parts(3);
+  s.factorize_row(37, parts);  // 37 = ((1*4 + 3)*5 + 2)
+  EXPECT_EQ(parts[0], 1);
+  EXPECT_EQ(parts[1], 3);
+  EXPECT_EQ(parts[2], 2);
+}
+
+TEST(TTShape, FactorizeCombineRoundTripProperty) {
+  TTShape s({7, 9, 11}, {2, 2, 2}, {1, 4, 4, 1});
+  std::vector<index_t> parts(3);
+  for (index_t row = 0; row < s.padded_rows(); row += 13) {
+    s.factorize_row(row, parts);
+    EXPECT_EQ(s.combine_row(parts), row);
+  }
+  // Boundary rows.
+  s.factorize_row(s.padded_rows() - 1, parts);
+  EXPECT_EQ(s.combine_row(parts), s.padded_rows() - 1);
+}
+
+TEST(TTShape, BalancedCoversRows) {
+  const TTShape s = TTShape::balanced(1000000, 64, 3, 16);
+  EXPECT_GE(s.padded_rows(), 1000000);
+  EXPECT_EQ(s.dim(), 64);
+  // Factors should be near 100 each.
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_GE(s.row_factor(k), 50);
+    EXPECT_LE(s.row_factor(k), 200);
+  }
+}
+
+TEST(TTShape, CoverFactorizeProperty) {
+  for (index_t v : {1, 2, 7, 100, 999, 40000000}) {
+    for (int d : {2, 3, 4}) {
+      const auto f = TTShape::cover_factorize(v, d);
+      index_t prod = 1;
+      for (index_t x : f) prod *= x;
+      EXPECT_GE(prod, v) << "v=" << v << " d=" << d;
+      // Covering should not overshoot wildly (within 2x for balanced splits).
+      EXPECT_LE(prod, 2 * v + 16) << "v=" << v << " d=" << d;
+    }
+  }
+}
+
+TEST(TTShape, ExactFactorizeMultipliesBack) {
+  for (index_t v : {8, 64, 128, 120, 36}) {
+    const auto f = TTShape::exact_factorize(v, 3);
+    index_t prod = 1;
+    for (index_t x : f) prod *= x;
+    EXPECT_EQ(prod, v);
+  }
+}
+
+TEST(TTShape, ParameterCount) {
+  TTShape s({4, 5, 6}, {2, 2, 4}, {1, 8, 8, 1});
+  // core0: 4*1*2*8=64; core1: 5*8*2*8=640; core2: 6*8*4*1=192.
+  EXPECT_EQ(s.parameter_count(), 64u + 640u + 192u);
+}
+
+TEST(TTShape, CompressionRatioIsLargeForBigTables) {
+  const TTShape s = TTShape::balanced(10000000, 64, 3, 32);
+  // Dense: 10M * 64 floats; TT: ~ a few hundred K floats.
+  EXPECT_GT(s.compression_ratio(10000000), 100.0);
+}
+
+TEST(TTShape, PaperTableIIIFootprintShape) {
+  // A 40M x 128 table (paper Fig. 13 / Table III) at rank 64 must fit in a
+  // single-GPU HBM budget: dense 19+ GB -> TT a few MB.
+  const TTShape s = TTShape::balanced(40000000, 128, 3, 64);
+  const double tt_gb = static_cast<double>(s.parameter_count()) * 4.0 / 1e9;
+  EXPECT_LT(tt_gb, 0.5);
+  const double dense_gb = 40000000.0 * 128 * 4 / 1e9;
+  EXPECT_GT(dense_gb, 16.0);  // exceeds the paper's 16 GB HBM
+}
+
+}  // namespace
+}  // namespace elrec
