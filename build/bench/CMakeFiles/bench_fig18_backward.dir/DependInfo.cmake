@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig18_backward.cpp" "bench/CMakeFiles/bench_fig18_backward.dir/bench_fig18_backward.cpp.o" "gcc" "bench/CMakeFiles/bench_fig18_backward.dir/bench_fig18_backward.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/elrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/elrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/elrec_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/elrec_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/elrec_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/elrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_backward.dir/bench_fig18_backward.cpp.o"
+  "CMakeFiles/bench_fig18_backward.dir/bench_fig18_backward.cpp.o.d"
+  "bench_fig18_backward"
+  "bench_fig18_backward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_backward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gemm_substrate.dir/bench_gemm_substrate.cpp.o"
+  "CMakeFiles/bench_gemm_substrate.dir/bench_gemm_substrate.cpp.o.d"
+  "bench_gemm_substrate"
+  "bench_gemm_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gemm_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

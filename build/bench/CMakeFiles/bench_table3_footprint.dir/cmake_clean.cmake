@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_footprint.dir/bench_table3_footprint.cpp.o"
+  "CMakeFiles/bench_table3_footprint.dir/bench_table3_footprint.cpp.o.d"
+  "bench_table3_footprint"
+  "bench_table3_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

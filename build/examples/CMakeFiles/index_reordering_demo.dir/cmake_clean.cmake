@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_reordering_demo.dir/index_reordering_demo.cpp.o"
+  "CMakeFiles/index_reordering_demo.dir/index_reordering_demo.cpp.o.d"
+  "index_reordering_demo"
+  "index_reordering_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_reordering_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_criteo_like.dir/train_criteo_like.cpp.o"
+  "CMakeFiles/train_criteo_like.dir/train_criteo_like.cpp.o.d"
+  "train_criteo_like"
+  "train_criteo_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_criteo_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elrec_common.dir/prng.cpp.o"
+  "CMakeFiles/elrec_common.dir/prng.cpp.o.d"
+  "CMakeFiles/elrec_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/elrec_common.dir/thread_pool.cpp.o.d"
+  "libelrec_common.a"
+  "libelrec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elrec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elrec_core.dir/eff_tt_table.cpp.o"
+  "CMakeFiles/elrec_core.dir/eff_tt_table.cpp.o.d"
+  "CMakeFiles/elrec_core.dir/pointer_prep.cpp.o"
+  "CMakeFiles/elrec_core.dir/pointer_prep.cpp.o.d"
+  "libelrec_core.a"
+  "libelrec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elrec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

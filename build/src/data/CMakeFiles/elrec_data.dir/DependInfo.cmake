@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/criteo_tsv.cpp" "src/data/CMakeFiles/elrec_data.dir/criteo_tsv.cpp.o" "gcc" "src/data/CMakeFiles/elrec_data.dir/criteo_tsv.cpp.o.d"
+  "/root/repo/src/data/dataset_spec.cpp" "src/data/CMakeFiles/elrec_data.dir/dataset_spec.cpp.o" "gcc" "src/data/CMakeFiles/elrec_data.dir/dataset_spec.cpp.o.d"
+  "/root/repo/src/data/stats.cpp" "src/data/CMakeFiles/elrec_data.dir/stats.cpp.o" "gcc" "src/data/CMakeFiles/elrec_data.dir/stats.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/elrec_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/elrec_data.dir/synthetic.cpp.o.d"
+  "/root/repo/src/data/zipf.cpp" "src/data/CMakeFiles/elrec_data.dir/zipf.cpp.o" "gcc" "src/data/CMakeFiles/elrec_data.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/embed/CMakeFiles/elrec_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/elrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elrec_data.dir/criteo_tsv.cpp.o"
+  "CMakeFiles/elrec_data.dir/criteo_tsv.cpp.o.d"
+  "CMakeFiles/elrec_data.dir/dataset_spec.cpp.o"
+  "CMakeFiles/elrec_data.dir/dataset_spec.cpp.o.d"
+  "CMakeFiles/elrec_data.dir/stats.cpp.o"
+  "CMakeFiles/elrec_data.dir/stats.cpp.o.d"
+  "CMakeFiles/elrec_data.dir/synthetic.cpp.o"
+  "CMakeFiles/elrec_data.dir/synthetic.cpp.o.d"
+  "CMakeFiles/elrec_data.dir/zipf.cpp.o"
+  "CMakeFiles/elrec_data.dir/zipf.cpp.o.d"
+  "libelrec_data.a"
+  "libelrec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elrec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

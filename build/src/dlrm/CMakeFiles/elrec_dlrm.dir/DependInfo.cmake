@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dlrm/dlrm_model.cpp" "src/dlrm/CMakeFiles/elrec_dlrm.dir/dlrm_model.cpp.o" "gcc" "src/dlrm/CMakeFiles/elrec_dlrm.dir/dlrm_model.cpp.o.d"
+  "/root/repo/src/dlrm/interaction.cpp" "src/dlrm/CMakeFiles/elrec_dlrm.dir/interaction.cpp.o" "gcc" "src/dlrm/CMakeFiles/elrec_dlrm.dir/interaction.cpp.o.d"
+  "/root/repo/src/dlrm/loss.cpp" "src/dlrm/CMakeFiles/elrec_dlrm.dir/loss.cpp.o" "gcc" "src/dlrm/CMakeFiles/elrec_dlrm.dir/loss.cpp.o.d"
+  "/root/repo/src/dlrm/metrics.cpp" "src/dlrm/CMakeFiles/elrec_dlrm.dir/metrics.cpp.o" "gcc" "src/dlrm/CMakeFiles/elrec_dlrm.dir/metrics.cpp.o.d"
+  "/root/repo/src/dlrm/mlp.cpp" "src/dlrm/CMakeFiles/elrec_dlrm.dir/mlp.cpp.o" "gcc" "src/dlrm/CMakeFiles/elrec_dlrm.dir/mlp.cpp.o.d"
+  "/root/repo/src/dlrm/model_checkpoint.cpp" "src/dlrm/CMakeFiles/elrec_dlrm.dir/model_checkpoint.cpp.o" "gcc" "src/dlrm/CMakeFiles/elrec_dlrm.dir/model_checkpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/embed/CMakeFiles/elrec_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/elrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

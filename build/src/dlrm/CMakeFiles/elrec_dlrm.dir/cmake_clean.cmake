@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elrec_dlrm.dir/dlrm_model.cpp.o"
+  "CMakeFiles/elrec_dlrm.dir/dlrm_model.cpp.o.d"
+  "CMakeFiles/elrec_dlrm.dir/interaction.cpp.o"
+  "CMakeFiles/elrec_dlrm.dir/interaction.cpp.o.d"
+  "CMakeFiles/elrec_dlrm.dir/loss.cpp.o"
+  "CMakeFiles/elrec_dlrm.dir/loss.cpp.o.d"
+  "CMakeFiles/elrec_dlrm.dir/metrics.cpp.o"
+  "CMakeFiles/elrec_dlrm.dir/metrics.cpp.o.d"
+  "CMakeFiles/elrec_dlrm.dir/mlp.cpp.o"
+  "CMakeFiles/elrec_dlrm.dir/mlp.cpp.o.d"
+  "CMakeFiles/elrec_dlrm.dir/model_checkpoint.cpp.o"
+  "CMakeFiles/elrec_dlrm.dir/model_checkpoint.cpp.o.d"
+  "libelrec_dlrm.a"
+  "libelrec_dlrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elrec_dlrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelrec_dlrm.a"
+)

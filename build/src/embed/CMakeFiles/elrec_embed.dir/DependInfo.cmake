@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/embedding_bag.cpp" "src/embed/CMakeFiles/elrec_embed.dir/embedding_bag.cpp.o" "gcc" "src/embed/CMakeFiles/elrec_embed.dir/embedding_bag.cpp.o.d"
+  "/root/repo/src/embed/hashed_embedding_bag.cpp" "src/embed/CMakeFiles/elrec_embed.dir/hashed_embedding_bag.cpp.o" "gcc" "src/embed/CMakeFiles/elrec_embed.dir/hashed_embedding_bag.cpp.o.d"
+  "/root/repo/src/embed/index_batch.cpp" "src/embed/CMakeFiles/elrec_embed.dir/index_batch.cpp.o" "gcc" "src/embed/CMakeFiles/elrec_embed.dir/index_batch.cpp.o.d"
+  "/root/repo/src/embed/quantized_embedding_bag.cpp" "src/embed/CMakeFiles/elrec_embed.dir/quantized_embedding_bag.cpp.o" "gcc" "src/embed/CMakeFiles/elrec_embed.dir/quantized_embedding_bag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/elrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

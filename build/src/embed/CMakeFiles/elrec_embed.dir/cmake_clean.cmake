@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elrec_embed.dir/embedding_bag.cpp.o"
+  "CMakeFiles/elrec_embed.dir/embedding_bag.cpp.o.d"
+  "CMakeFiles/elrec_embed.dir/hashed_embedding_bag.cpp.o"
+  "CMakeFiles/elrec_embed.dir/hashed_embedding_bag.cpp.o.d"
+  "CMakeFiles/elrec_embed.dir/index_batch.cpp.o"
+  "CMakeFiles/elrec_embed.dir/index_batch.cpp.o.d"
+  "CMakeFiles/elrec_embed.dir/quantized_embedding_bag.cpp.o"
+  "CMakeFiles/elrec_embed.dir/quantized_embedding_bag.cpp.o.d"
+  "libelrec_embed.a"
+  "libelrec_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elrec_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

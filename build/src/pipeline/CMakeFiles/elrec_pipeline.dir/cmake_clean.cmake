@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elrec_pipeline.dir/allreduce.cpp.o"
+  "CMakeFiles/elrec_pipeline.dir/allreduce.cpp.o.d"
+  "CMakeFiles/elrec_pipeline.dir/data_parallel_trainer.cpp.o"
+  "CMakeFiles/elrec_pipeline.dir/data_parallel_trainer.cpp.o.d"
+  "CMakeFiles/elrec_pipeline.dir/elrec_trainer.cpp.o"
+  "CMakeFiles/elrec_pipeline.dir/elrec_trainer.cpp.o.d"
+  "CMakeFiles/elrec_pipeline.dir/embedding_cache.cpp.o"
+  "CMakeFiles/elrec_pipeline.dir/embedding_cache.cpp.o.d"
+  "CMakeFiles/elrec_pipeline.dir/host_embedding_store.cpp.o"
+  "CMakeFiles/elrec_pipeline.dir/host_embedding_store.cpp.o.d"
+  "CMakeFiles/elrec_pipeline.dir/pipeline_trainer.cpp.o"
+  "CMakeFiles/elrec_pipeline.dir/pipeline_trainer.cpp.o.d"
+  "libelrec_pipeline.a"
+  "libelrec_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elrec_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reorder/bijection.cpp" "src/reorder/CMakeFiles/elrec_reorder.dir/bijection.cpp.o" "gcc" "src/reorder/CMakeFiles/elrec_reorder.dir/bijection.cpp.o.d"
+  "/root/repo/src/reorder/index_graph.cpp" "src/reorder/CMakeFiles/elrec_reorder.dir/index_graph.cpp.o" "gcc" "src/reorder/CMakeFiles/elrec_reorder.dir/index_graph.cpp.o.d"
+  "/root/repo/src/reorder/louvain.cpp" "src/reorder/CMakeFiles/elrec_reorder.dir/louvain.cpp.o" "gcc" "src/reorder/CMakeFiles/elrec_reorder.dir/louvain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/embed/CMakeFiles/elrec_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/elrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

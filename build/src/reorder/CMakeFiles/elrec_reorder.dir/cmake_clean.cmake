@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elrec_reorder.dir/bijection.cpp.o"
+  "CMakeFiles/elrec_reorder.dir/bijection.cpp.o.d"
+  "CMakeFiles/elrec_reorder.dir/index_graph.cpp.o"
+  "CMakeFiles/elrec_reorder.dir/index_graph.cpp.o.d"
+  "CMakeFiles/elrec_reorder.dir/louvain.cpp.o"
+  "CMakeFiles/elrec_reorder.dir/louvain.cpp.o.d"
+  "libelrec_reorder.a"
+  "libelrec_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elrec_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elrec_sim.dir/device_model.cpp.o"
+  "CMakeFiles/elrec_sim.dir/device_model.cpp.o.d"
+  "CMakeFiles/elrec_sim.dir/framework_models.cpp.o"
+  "CMakeFiles/elrec_sim.dir/framework_models.cpp.o.d"
+  "CMakeFiles/elrec_sim.dir/timeline.cpp.o"
+  "CMakeFiles/elrec_sim.dir/timeline.cpp.o.d"
+  "CMakeFiles/elrec_sim.dir/workload.cpp.o"
+  "CMakeFiles/elrec_sim.dir/workload.cpp.o.d"
+  "libelrec_sim.a"
+  "libelrec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elrec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

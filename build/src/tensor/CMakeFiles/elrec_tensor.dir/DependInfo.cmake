@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/batched_gemm.cpp" "src/tensor/CMakeFiles/elrec_tensor.dir/batched_gemm.cpp.o" "gcc" "src/tensor/CMakeFiles/elrec_tensor.dir/batched_gemm.cpp.o.d"
+  "/root/repo/src/tensor/gemm.cpp" "src/tensor/CMakeFiles/elrec_tensor.dir/gemm.cpp.o" "gcc" "src/tensor/CMakeFiles/elrec_tensor.dir/gemm.cpp.o.d"
+  "/root/repo/src/tensor/matrix.cpp" "src/tensor/CMakeFiles/elrec_tensor.dir/matrix.cpp.o" "gcc" "src/tensor/CMakeFiles/elrec_tensor.dir/matrix.cpp.o.d"
+  "/root/repo/src/tensor/optimizer.cpp" "src/tensor/CMakeFiles/elrec_tensor.dir/optimizer.cpp.o" "gcc" "src/tensor/CMakeFiles/elrec_tensor.dir/optimizer.cpp.o.d"
+  "/root/repo/src/tensor/svd.cpp" "src/tensor/CMakeFiles/elrec_tensor.dir/svd.cpp.o" "gcc" "src/tensor/CMakeFiles/elrec_tensor.dir/svd.cpp.o.d"
+  "/root/repo/src/tensor/vector_ops.cpp" "src/tensor/CMakeFiles/elrec_tensor.dir/vector_ops.cpp.o" "gcc" "src/tensor/CMakeFiles/elrec_tensor.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/elrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elrec_tensor.dir/batched_gemm.cpp.o"
+  "CMakeFiles/elrec_tensor.dir/batched_gemm.cpp.o.d"
+  "CMakeFiles/elrec_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/elrec_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/elrec_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/elrec_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/elrec_tensor.dir/optimizer.cpp.o"
+  "CMakeFiles/elrec_tensor.dir/optimizer.cpp.o.d"
+  "CMakeFiles/elrec_tensor.dir/svd.cpp.o"
+  "CMakeFiles/elrec_tensor.dir/svd.cpp.o.d"
+  "CMakeFiles/elrec_tensor.dir/vector_ops.cpp.o"
+  "CMakeFiles/elrec_tensor.dir/vector_ops.cpp.o.d"
+  "libelrec_tensor.a"
+  "libelrec_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elrec_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tt/tt_checkpoint.cpp" "src/tt/CMakeFiles/elrec_tt.dir/tt_checkpoint.cpp.o" "gcc" "src/tt/CMakeFiles/elrec_tt.dir/tt_checkpoint.cpp.o.d"
+  "/root/repo/src/tt/tt_cores.cpp" "src/tt/CMakeFiles/elrec_tt.dir/tt_cores.cpp.o" "gcc" "src/tt/CMakeFiles/elrec_tt.dir/tt_cores.cpp.o.d"
+  "/root/repo/src/tt/tt_shape.cpp" "src/tt/CMakeFiles/elrec_tt.dir/tt_shape.cpp.o" "gcc" "src/tt/CMakeFiles/elrec_tt.dir/tt_shape.cpp.o.d"
+  "/root/repo/src/tt/tt_svd.cpp" "src/tt/CMakeFiles/elrec_tt.dir/tt_svd.cpp.o" "gcc" "src/tt/CMakeFiles/elrec_tt.dir/tt_svd.cpp.o.d"
+  "/root/repo/src/tt/tt_table.cpp" "src/tt/CMakeFiles/elrec_tt.dir/tt_table.cpp.o" "gcc" "src/tt/CMakeFiles/elrec_tt.dir/tt_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/embed/CMakeFiles/elrec_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/elrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elrec_tt.dir/tt_checkpoint.cpp.o"
+  "CMakeFiles/elrec_tt.dir/tt_checkpoint.cpp.o.d"
+  "CMakeFiles/elrec_tt.dir/tt_cores.cpp.o"
+  "CMakeFiles/elrec_tt.dir/tt_cores.cpp.o.d"
+  "CMakeFiles/elrec_tt.dir/tt_shape.cpp.o"
+  "CMakeFiles/elrec_tt.dir/tt_shape.cpp.o.d"
+  "CMakeFiles/elrec_tt.dir/tt_svd.cpp.o"
+  "CMakeFiles/elrec_tt.dir/tt_svd.cpp.o.d"
+  "CMakeFiles/elrec_tt.dir/tt_table.cpp.o"
+  "CMakeFiles/elrec_tt.dir/tt_table.cpp.o.d"
+  "libelrec_tt.a"
+  "libelrec_tt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elrec_tt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

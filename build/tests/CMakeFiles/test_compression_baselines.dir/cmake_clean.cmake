@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compression_baselines.dir/test_compression_baselines.cpp.o"
+  "CMakeFiles/test_compression_baselines.dir/test_compression_baselines.cpp.o.d"
+  "test_compression_baselines"
+  "test_compression_baselines.pdb"
+  "test_compression_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compression_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

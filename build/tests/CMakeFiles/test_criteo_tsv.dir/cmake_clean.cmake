@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_criteo_tsv.dir/test_criteo_tsv.cpp.o"
+  "CMakeFiles/test_criteo_tsv.dir/test_criteo_tsv.cpp.o.d"
+  "test_criteo_tsv"
+  "test_criteo_tsv.pdb"
+  "test_criteo_tsv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_criteo_tsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_parallel.dir/test_data_parallel.cpp.o"
+  "CMakeFiles/test_data_parallel.dir/test_data_parallel.cpp.o.d"
+  "test_data_parallel"
+  "test_data_parallel.pdb"
+  "test_data_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

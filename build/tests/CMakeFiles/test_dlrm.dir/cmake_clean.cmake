@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlrm.dir/test_dlrm.cpp.o"
+  "CMakeFiles/test_dlrm.dir/test_dlrm.cpp.o.d"
+  "test_dlrm"
+  "test_dlrm.pdb"
+  "test_dlrm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

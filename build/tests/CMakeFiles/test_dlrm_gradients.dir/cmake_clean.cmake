@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlrm_gradients.dir/test_dlrm_gradients.cpp.o"
+  "CMakeFiles/test_dlrm_gradients.dir/test_dlrm_gradients.cpp.o.d"
+  "test_dlrm_gradients"
+  "test_dlrm_gradients.pdb"
+  "test_dlrm_gradients[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlrm_gradients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dlrm_gradients.
+# This may be replaced when dependencies are built.

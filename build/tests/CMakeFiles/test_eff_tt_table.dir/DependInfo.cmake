@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_eff_tt_table.cpp" "tests/CMakeFiles/test_eff_tt_table.dir/test_eff_tt_table.cpp.o" "gcc" "tests/CMakeFiles/test_eff_tt_table.dir/test_eff_tt_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/elrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/elrec_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/elrec_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/elrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

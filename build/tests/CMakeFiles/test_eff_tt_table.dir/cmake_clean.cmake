@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eff_tt_table.dir/test_eff_tt_table.cpp.o"
+  "CMakeFiles/test_eff_tt_table.dir/test_eff_tt_table.cpp.o.d"
+  "test_eff_tt_table"
+  "test_eff_tt_table.pdb"
+  "test_eff_tt_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eff_tt_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

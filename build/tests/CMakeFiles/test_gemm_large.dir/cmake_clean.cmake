@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemm_large.dir/test_gemm_large.cpp.o"
+  "CMakeFiles/test_gemm_large.dir/test_gemm_large.cpp.o.d"
+  "test_gemm_large"
+  "test_gemm_large.pdb"
+  "test_gemm_large[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemm_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

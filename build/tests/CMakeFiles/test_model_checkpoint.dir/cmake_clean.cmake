@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_checkpoint.dir/test_model_checkpoint.cpp.o"
+  "CMakeFiles/test_model_checkpoint.dir/test_model_checkpoint.cpp.o.d"
+  "test_model_checkpoint"
+  "test_model_checkpoint.pdb"
+  "test_model_checkpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

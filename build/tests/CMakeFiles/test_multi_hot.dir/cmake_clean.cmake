@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_hot.dir/test_multi_hot.cpp.o"
+  "CMakeFiles/test_multi_hot.dir/test_multi_hot.cpp.o.d"
+  "test_multi_hot"
+  "test_multi_hot.pdb"
+  "test_multi_hot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_hot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

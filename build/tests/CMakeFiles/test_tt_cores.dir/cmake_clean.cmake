@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tt_cores.dir/test_tt_cores.cpp.o"
+  "CMakeFiles/test_tt_cores.dir/test_tt_cores.cpp.o.d"
+  "test_tt_cores"
+  "test_tt_cores.pdb"
+  "test_tt_cores[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tt_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

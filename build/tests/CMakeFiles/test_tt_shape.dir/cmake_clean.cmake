@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tt_shape.dir/test_tt_shape.cpp.o"
+  "CMakeFiles/test_tt_shape.dir/test_tt_shape.cpp.o.d"
+  "test_tt_shape"
+  "test_tt_shape.pdb"
+  "test_tt_shape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tt_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tt_svd.dir/test_tt_svd.cpp.o"
+  "CMakeFiles/test_tt_svd.dir/test_tt_svd.cpp.o.d"
+  "test_tt_svd"
+  "test_tt_svd.pdb"
+  "test_tt_svd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tt_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

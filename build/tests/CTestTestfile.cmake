@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_svd[1]_include.cmake")
+include("/root/repo/build/tests/test_embed[1]_include.cmake")
+include("/root/repo/build/tests/test_tt_shape[1]_include.cmake")
+include("/root/repo/build/tests/test_tt_cores[1]_include.cmake")
+include("/root/repo/build/tests/test_tt_svd[1]_include.cmake")
+include("/root/repo/build/tests/test_tt_table[1]_include.cmake")
+include("/root/repo/build/tests/test_eff_tt_table[1]_include.cmake")
+include("/root/repo/build/tests/test_dlrm[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_reorder[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_elrec_trainer[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_compression_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_data_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_eff_tt_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_multi_hot[1]_include.cmake")
+include("/root/repo/build/tests/test_criteo_tsv[1]_include.cmake")
+include("/root/repo/build/tests/test_model_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_dlrm_gradients[1]_include.cmake")
+include("/root/repo/build/tests/test_gemm_large[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
