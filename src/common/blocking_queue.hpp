@@ -6,6 +6,7 @@
 // values are derived from it.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -15,9 +16,18 @@
 
 namespace elrec {
 
+/// Outcome of a deadline-aware queue operation.
+enum class QueueOpStatus {
+  kOk,       // item transferred
+  kTimeout,  // deadline expired with the queue still full/empty
+  kClosed,   // queue closed (push: always; pop: closed AND drained)
+};
+
 /// Thread-safe bounded FIFO. push() blocks when full, pop() blocks when
 /// empty. close() wakes all waiters; pop() on a closed-and-drained queue
-/// returns nullopt, push() on a closed queue returns false.
+/// returns nullopt, push() on a closed queue returns false. The *_for
+/// variants bound the wait so a wedged peer is diagnosed instead of
+/// deadlocking the pipeline.
 template <typename T>
 class BlockingQueue {
  public:
@@ -49,6 +59,40 @@ class BlockingQueue {
     lock.unlock();
     not_full_.notify_one();
     return value;
+  }
+
+  /// Deadline-aware push: waits at most `timeout` for room. `value` is
+  /// moved from only on kOk, so callers can retry the same object after a
+  /// timeout (e.g. draining the other queue in between).
+  QueueOpStatus try_push_for(T& value, std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu_);
+    if (!not_full_.wait_for(lock, timeout, [this] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return QueueOpStatus::kTimeout;
+    }
+    if (closed_) return QueueOpStatus::kClosed;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return QueueOpStatus::kOk;
+  }
+
+  /// Deadline-aware pop: waits at most `timeout` for an item. kClosed is
+  /// only reported once the queue is closed AND drained, so in-flight items
+  /// are never dropped on shutdown.
+  QueueOpStatus try_pop_for(T& out, std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [this] { return closed_ || !items_.empty(); })) {
+      return QueueOpStatus::kTimeout;
+    }
+    if (items_.empty()) return QueueOpStatus::kClosed;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return QueueOpStatus::kOk;
   }
 
   /// Non-blocking pop.

@@ -16,6 +16,14 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A failure the caller may retry (momentary host-store unavailability,
+/// interrupted I/O, an injected transient fault). `with_retry` in
+/// common/retry.hpp retries exactly this type; everything else is fatal.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void raise_check_failure(const char* cond, const char* file,

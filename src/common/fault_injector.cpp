@@ -1,0 +1,115 @@
+#include "common/fault_injector.hpp"
+
+#include <thread>
+
+namespace elrec {
+
+std::atomic<bool> FaultInjector::any_armed_{false};
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard lock(mu_);
+  SiteState& state = sites_[site];
+  state.spec = std::move(spec);
+  state.armed = true;
+  state.hit_count = 0;
+  state.fire_count = 0;
+  // splitmix64 scramble so seed 0 still produces a usable stream.
+  state.rng_state = state.spec.seed + 0x9e3779b97f4a7c15ULL;
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.armed = false;
+  bool any = false;
+  for (const auto& [name, state] : sites_) any = any || state.armed;
+  any_armed_.store(any, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  {
+    std::lock_guard lock(mu_);
+    sites_.clear();
+    ++cancel_epoch_;
+    any_armed_.store(false, std::memory_order_relaxed);
+  }
+  delay_cv_.notify_all();
+}
+
+void FaultInjector::cancel_delays() {
+  {
+    std::lock_guard lock(mu_);
+    ++cancel_epoch_;
+  }
+  delay_cv_.notify_all();
+}
+
+std::uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hit_count;
+}
+
+std::uint64_t FaultInjector::fires(const std::string& site) const {
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fire_count;
+}
+
+namespace {
+
+double next_uniform(std::uint64_t& state) {
+  // splitmix64: independent of Prng so arming a site never perturbs the
+  // training stream's randomness.
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void FaultInjector::on_site(const char* site) {
+  std::unique_lock lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  SiteState& state = it->second;
+  ++state.hit_count;
+  if (!state.armed) return;
+  const FaultSpec& spec = state.spec;
+  if (state.hit_count <= spec.skip_first) return;
+  if (state.fire_count >= spec.max_fires) return;
+  if (spec.probability < 1.0 &&
+      next_uniform(state.rng_state) >= spec.probability) {
+    return;
+  }
+  ++state.fire_count;
+
+  std::string what = std::string("injected fault at '") + site + "'";
+  if (!spec.message.empty()) what += ": " + spec.message;
+
+  switch (spec.kind) {
+    case FaultKind::kError:
+      throw InjectedFault(what);
+    case FaultKind::kTransient:
+      throw TransientError(what);
+    case FaultKind::kDelay: {
+      // Interruptible stall: reset()/cancel_delays() wakes us early so a
+      // shutdown never has to out-wait an injected hang.
+      const std::uint64_t epoch = cancel_epoch_;
+      delay_cv_.wait_for(lock, spec.delay,
+                         [&] { return cancel_epoch_ != epoch; });
+      break;
+    }
+  }
+}
+
+}  // namespace elrec

@@ -1,0 +1,107 @@
+// Process-wide fault injection for robustness testing.
+//
+// Production code plants named fault points (ELREC_FAULT_POINT) at the
+// operations that can fail in a real deployment: host-store pulls/pushes,
+// compute steps, checkpoint writes, server scheduling. Tests arm a site with
+// a FaultSpec and the next eligible hit throws (fatal or transient), or
+// stalls the calling thread, letting the fault-tolerance machinery be driven
+// deterministically. When no site is armed the hook is a single relaxed
+// atomic load — effectively free on every hot path.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+/// Thrown by an armed kError site. Derives from Error, so it propagates
+/// through the same paths as real failures.
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(const std::string& what) : Error(what) {}
+};
+
+/// What an armed site does when it fires.
+enum class FaultKind {
+  kError,      // throw InjectedFault (fatal: no retry should rescue it)
+  kTransient,  // throw TransientError (retry policies may absorb it)
+  kDelay,      // stall the calling thread for `delay` (slow/stalled server)
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kError;
+  double probability = 1.0;       // chance an eligible hit fires
+  std::uint64_t skip_first = 0;   // hits that pass through before eligibility
+  std::uint64_t max_fires = ~0ULL;  // stop firing after this many
+  std::chrono::milliseconds delay{0};  // for kDelay
+  std::string message;            // appended to the exception text
+  std::uint64_t seed = 0x5eedULL;  // for probabilistic firing
+};
+
+/// Singleton registry of armed fault sites. Thread-safe; all methods may be
+/// called concurrently with fault points executing on other threads.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Fast-path gate read by every fault point.
+  static bool armed_anywhere() {
+    return any_armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms `site`; replaces any previous spec and resets its counters.
+  void arm(const std::string& site, FaultSpec spec);
+
+  /// Disarms one site (its counters survive until reset()).
+  void disarm(const std::string& site);
+
+  /// Disarms everything, clears counters, and wakes stalled kDelay sites.
+  void reset();
+
+  /// Wakes every thread currently stalled in a kDelay site.
+  void cancel_delays();
+
+  /// Times the site was reached / times it actually fired.
+  std::uint64_t hits(const std::string& site) const;
+  std::uint64_t fires(const std::string& site) const;
+
+  /// Slow path behind ELREC_FAULT_POINT. Counts the hit and, if the site is
+  /// armed and eligible, fires its fault.
+  void on_site(const char* site);
+
+ private:
+  FaultInjector() = default;
+
+  struct SiteState {
+    FaultSpec spec;
+    bool armed = false;
+    std::uint64_t hit_count = 0;
+    std::uint64_t fire_count = 0;
+    std::uint64_t rng_state = 0;
+  };
+
+  static std::atomic<bool> any_armed_;
+
+  mutable std::mutex mu_;
+  std::condition_variable delay_cv_;
+  std::uint64_t cancel_epoch_ = 0;  // bumped to wake stalled delays
+  std::unordered_map<std::string, SiteState> sites_;
+};
+
+}  // namespace elrec
+
+/// Plants a named fault point. Zero-cost when nothing is armed (one relaxed
+/// atomic load); otherwise consults the injector, which may throw or stall.
+#define ELREC_FAULT_POINT(site)                              \
+  do {                                                       \
+    if (::elrec::FaultInjector::armed_anywhere()) {          \
+      ::elrec::FaultInjector::instance().on_site(site);      \
+    }                                                        \
+  } while (0)

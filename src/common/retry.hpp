@@ -1,0 +1,50 @@
+// Bounded retry with exponential backoff.
+//
+// Retries TransientError only: a transient host-store fault (or an injected
+// one) gets `max_attempts` chances with geometrically growing sleeps, while
+// genuine bugs (Error, PipelineError, shape mismatches) propagate on the
+// first throw. Exhausting the budget rethrows the last transient failure
+// wrapped in a plain Error so callers do not retry it again upstream.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+struct RetryPolicy {
+  int max_attempts = 5;  // total tries, including the first
+  std::chrono::milliseconds initial_backoff{1};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{200};
+};
+
+/// Runs `fn`, retrying on TransientError per `policy`. `what` names the
+/// operation for the exhaustion message.
+template <typename Fn>
+auto with_retry(const RetryPolicy& policy, const std::string& what, Fn&& fn)
+    -> decltype(fn()) {
+  ELREC_CHECK(policy.max_attempts >= 1, "retry policy needs >= 1 attempt");
+  std::chrono::milliseconds backoff = policy.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const TransientError& e) {
+      if (attempt >= policy.max_attempts) {
+        throw Error(what + ": retries exhausted after " +
+                    std::to_string(attempt) + " attempts — " + e.what());
+      }
+      std::this_thread::sleep_for(backoff);
+      const auto grown = std::chrono::milliseconds(static_cast<long long>(
+          static_cast<double>(backoff.count()) * policy.multiplier));
+      backoff = std::min(std::max(grown, std::chrono::milliseconds(1)),
+                         policy.max_backoff);
+    }
+  }
+}
+
+}  // namespace elrec

@@ -3,43 +3,81 @@
 // Format: little-endian POD fields and length-prefixed arrays, with a magic
 // tag per top-level object so mismatched files fail loudly. Used to persist
 // TT cores, embedding tables and whole DLRM models.
+//
+// Durability: every write is checked (a full disk throws instead of
+// silently truncating), the writer accumulates an FNV-1a checksum that
+// finish() appends as a footer, and write_checkpoint_atomic() stages the
+// file at `path + ".tmp"` and renames only after a verified finish() — a
+// crash mid-checkpoint can damage the temp file only, never the previous
+// durable checkpoint.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <algorithm>
 #include <fstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fault_injector.hpp"
 
 namespace elrec {
+
+namespace detail {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv1a(std::uint64_t h, const char* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint8_t>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr char kChecksumTag[4] = {'E', 'C', 'R', 'C'};
+
+}  // namespace detail
 
 class BinaryWriter {
  public:
   explicit BinaryWriter(const std::string& path)
-      : out_(path, std::ios::binary) {
+      : out_(path, std::ios::binary), path_(path) {
     ELREC_CHECK(out_.good(), "cannot open " + path + " for writing");
+  }
+
+  ~BinaryWriter() {
+    // finish()/flush() are the throwing paths; if the owner skipped them a
+    // destructor cannot throw, so at least make the failure visible.
+    if (!out_.good() && !failure_reported_) {
+      std::fprintf(stderr, "elrec: BinaryWriter(%s) destroyed with failed stream — checkpoint is incomplete\n",
+                   path_.c_str());
+    }
   }
 
   template <typename T>
   void write_pod(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+    write_bytes(reinterpret_cast<const char*>(&value), sizeof(T));
   }
 
   void write_u64(std::uint64_t v) { write_pod(v); }
   void write_i64(std::int64_t v) { write_pod(v); }
   void write_f32(float v) { write_pod(v); }
 
-  void write_tag(const char tag[4]) { out_.write(tag, 4); }
+  void write_tag(const char tag[4]) { write_bytes(tag, 4); }
 
   template <typename T>
   void write_array(const T* data, std::size_t n) {
     static_assert(std::is_trivially_copyable_v<T>);
     write_u64(n);
-    out_.write(reinterpret_cast<const char*>(data),
-               static_cast<std::streamsize>(n * sizeof(T)));
+    // A crash between the length prefix and the payload is the worst torn
+    // write; tests arm this site to simulate being killed mid-checkpoint.
+    ELREC_FAULT_POINT("serialize.write_array");
+    write_bytes(reinterpret_cast<const char*>(data), n * sizeof(T));
   }
 
   template <typename T>
@@ -49,11 +87,40 @@ class BinaryWriter {
 
   void flush() {
     out_.flush();
-    ELREC_CHECK(out_.good(), "write failed");
+    check_stream("flush failed (disk full?)");
   }
 
+  /// Appends the checksum footer, flushes, and verifies the stream. Call
+  /// exactly once, after the last payload write; readers pair it with
+  /// expect_footer().
+  void finish() {
+    const std::uint64_t sum = checksum_;
+    write_bytes(detail::kChecksumTag, 4);
+    write_pod(sum);  // footer bytes fold into checksum_ but sum is fixed
+    flush();
+  }
+
+  /// Checksum over every byte written so far.
+  std::uint64_t checksum() const { return checksum_; }
+
  private:
+  void write_bytes(const char* data, std::size_t n) {
+    out_.write(data, static_cast<std::streamsize>(n));
+    check_stream("write failed (disk full?)");
+    checksum_ = detail::fnv1a(checksum_, data, n);
+  }
+
+  void check_stream(const char* what) {
+    if (!out_.good()) {
+      failure_reported_ = true;
+      throw Error(std::string(what) + " — " + path_);
+    }
+  }
+
   std::ofstream out_;
+  std::string path_;
+  std::uint64_t checksum_ = detail::kFnvOffset;
+  bool failure_reported_ = false;
 };
 
 class BinaryReader {
@@ -67,8 +134,8 @@ class BinaryReader {
   T read_pod() {
     static_assert(std::is_trivially_copyable_v<T>);
     T value{};
-    in_.read(reinterpret_cast<char*>(&value), sizeof(T));
-    ELREC_CHECK(in_.good(), "unexpected end of file");
+    read_bytes(reinterpret_cast<char*>(&value), sizeof(T),
+               "unexpected end of file");
     return value;
   }
 
@@ -78,8 +145,8 @@ class BinaryReader {
 
   void expect_tag(const char tag[4]) {
     char buf[4];
-    in_.read(buf, 4);
-    ELREC_CHECK(in_.good() && std::equal(buf, buf + 4, tag),
+    read_bytes(buf, 4, "checkpoint tag missing — truncated file");
+    ELREC_CHECK(std::equal(buf, buf + 4, tag),
                 "checkpoint tag mismatch — wrong or corrupt file");
   }
 
@@ -88,14 +155,53 @@ class BinaryReader {
     const std::uint64_t n = read_u64();
     ELREC_CHECK(n < (1ULL << 34), "implausible array length in checkpoint");
     std::vector<T> v(static_cast<std::size_t>(n));
-    in_.read(reinterpret_cast<char*>(v.data()),
-             static_cast<std::streamsize>(n * sizeof(T)));
-    ELREC_CHECK(in_.good(), "unexpected end of file in array");
+    read_bytes(reinterpret_cast<char*>(v.data()), n * sizeof(T),
+               "unexpected end of file in array");
     return v;
   }
 
+  /// Verifies the footer written by BinaryWriter::finish(): the stored
+  /// checksum must match the checksum of every byte read so far. Call after
+  /// the last payload read; throws on truncation or corruption.
+  void expect_footer() {
+    const std::uint64_t seen = checksum_;
+    char buf[4];
+    read_bytes(buf, 4, "checkpoint footer missing — truncated file");
+    ELREC_CHECK(std::equal(buf, buf + 4, detail::kChecksumTag),
+                "checkpoint footer tag mismatch — truncated or corrupt file");
+    const std::uint64_t stored = read_pod<std::uint64_t>();
+    ELREC_CHECK(stored == seen,
+                "checkpoint checksum mismatch — file is corrupt");
+  }
+
  private:
+  void read_bytes(char* data, std::size_t n, const char* what) {
+    in_.read(data, static_cast<std::streamsize>(n));
+    ELREC_CHECK(in_.good(), what);
+    checksum_ = detail::fnv1a(checksum_, data, n);
+  }
+
   std::ifstream in_;
+  std::uint64_t checksum_ = detail::kFnvOffset;
 };
+
+/// Writes a checkpoint atomically: `body(writer)` streams into
+/// `path + ".tmp"`, finish() seals it (checksum footer + flush + error
+/// check), and only then is the temp renamed over `path`. Any failure
+/// removes the temp and leaves the previous checkpoint untouched.
+template <typename Body>
+void write_checkpoint_atomic(const std::string& path, Body&& body) {
+  const std::string tmp = path + ".tmp";
+  try {
+    BinaryWriter w(tmp);
+    body(w);
+    w.finish();
+  } catch (...) {
+    std::remove(tmp.c_str());  // best-effort; damage stays in the temp file
+    throw;
+  }
+  ELREC_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "cannot rename " + tmp + " over " + path);
+}
 
 }  // namespace elrec

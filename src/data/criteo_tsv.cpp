@@ -91,9 +91,15 @@ index_t CriteoTsvReader::next_batch(index_t batch_size, MiniBatch& out) {
   std::vector<float> line_dense(static_cast<std::size_t>(options_.num_dense));
   while (static_cast<index_t>(out.labels.size()) < batch_size &&
          std::getline(*stream_, line)) {
+    // Tolerate CRLF files: the trailing \r would otherwise corrupt the last
+    // categorical's hash.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     float label = 0.0f;
     if (!parse_line(line, line_dense.data(), line_cats, &label)) {
       ++skipped_;
+      ELREC_CHECK(skipped_ <= options_.max_skipped_lines,
+                  "too many malformed lines (" + std::to_string(skipped_) +
+                      ") — wrong format or corrupt file");
       continue;
     }
     dense_rows.insert(dense_rows.end(), line_dense.begin(), line_dense.end());

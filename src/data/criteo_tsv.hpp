@@ -20,6 +20,10 @@ struct CriteoTsvOptions {
   index_t num_dense = 13;
   std::vector<index_t> table_rows;  // hashing moduli, one per categorical
   bool log_transform_dense = true;  // x -> log(1 + max(x, 0))
+  // Per-file cap on malformed lines: each is counted and skipped, but once
+  // the cap is exceeded the file is considered garbage (wrong format, torn
+  // download) and next_batch throws instead of silently degrading.
+  index_t max_skipped_lines = 1000;
 };
 
 class CriteoTsvReader {
@@ -33,6 +37,8 @@ class CriteoTsvReader {
 
   /// Fills the next batch with up to `batch_size` samples; returns the
   /// number of samples read (0 at end of stream). Short batches are valid.
+  /// Malformed or truncated rows are counted and skipped; exceeding
+  /// `max_skipped_lines` throws Error.
   index_t next_batch(index_t batch_size, MiniBatch& out);
 
   /// Lines skipped because they were malformed.

@@ -147,6 +147,12 @@ MiniBatch SyntheticDataset::next_batch(index_t batch_size) {
   return make_batch(batch_size, rng_, session);
 }
 
+void SyntheticDataset::skip_batches(index_t n, index_t batch_size) {
+  // Generating and discarding keeps rng_/batches_served_ bit-exact with a
+  // stream that actually consumed these batches.
+  for (index_t i = 0; i < n; ++i) next_batch(batch_size);
+}
+
 MiniBatch SyntheticDataset::eval_batch(index_t batch_size,
                                        std::uint64_t salt) const {
   Prng rng(mix_hash(teacher_seed_, 0xeba1ULL, salt));

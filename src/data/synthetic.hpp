@@ -28,6 +28,12 @@ class SyntheticDataset {
   /// of the spec is only the nominal epoch length).
   MiniBatch next_batch(index_t batch_size);
 
+  /// Advances the stream past `n` batches of `batch_size` without
+  /// materializing them fully. A fresh dataset with the same seed, skipped
+  /// past a checkpoint's batch count, replays the exact batches an
+  /// uninterrupted run would have seen — the data half of resume().
+  void skip_batches(index_t n, index_t batch_size);
+
   /// Deterministic evaluation set: same generator, fixed fork of the seed.
   MiniBatch eval_batch(index_t batch_size, std::uint64_t salt = 0) const;
 

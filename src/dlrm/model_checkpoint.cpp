@@ -9,15 +9,17 @@ constexpr char kTag[4] = {'E', 'L', 'M', '1'};
 }
 
 void save_dlrm_model(DlrmModel& model, const std::string& path) {
-  BinaryWriter w(path);
-  w.write_tag(kTag);
-  // First pass: count buffers.
-  std::uint64_t count = 0;
-  model.visit_parameters([&](float*, std::size_t) { ++count; });
-  w.write_u64(count);
-  model.visit_parameters(
-      [&](float* p, std::size_t n) { w.write_array(p, n); });
-  w.flush();
+  // Staged write + checksum footer + atomic rename: a crash mid-save can
+  // never corrupt an existing checkpoint at `path`.
+  write_checkpoint_atomic(path, [&](BinaryWriter& w) {
+    w.write_tag(kTag);
+    // First pass: count buffers.
+    std::uint64_t count = 0;
+    model.visit_parameters([&](float*, std::size_t) { ++count; });
+    w.write_u64(count);
+    model.visit_parameters(
+        [&](float* p, std::size_t n) { w.write_array(p, n); });
+  });
 }
 
 void load_dlrm_model(DlrmModel& model, const std::string& path) {
@@ -33,6 +35,7 @@ void load_dlrm_model(DlrmModel& model, const std::string& path) {
     ELREC_CHECK(values.size() == n, "checkpoint buffer size mismatch");
     std::copy(values.begin(), values.end(), p);
   });
+  r.expect_footer();
 }
 
 }  // namespace elrec

@@ -1,13 +1,32 @@
 #include "pipeline/elrec_trainer.hpp"
 
 #include <atomic>
+#include <exception>
 #include <thread>
 
 #include "common/blocking_queue.hpp"
+#include "common/fault_injector.hpp"
+#include "common/serialize.hpp"
 #include "common/stopwatch.hpp"
 #include "embed/embedding_bag.hpp"
 
 namespace elrec {
+
+namespace {
+
+constexpr char kCheckpointTag[4] = {'E', 'L', 'C', '1'};
+
+std::string describe_exception(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+}  // namespace
 
 std::vector<TablePlacement> default_placement(const DatasetSpec& spec,
                                               index_t tt_threshold,
@@ -119,58 +138,191 @@ std::size_t ElRecTrainer::device_embedding_bytes() const {
   return model_->embedding_bytes();  // HostTableClient reports 0
 }
 
+void ElRecTrainer::save_checkpoint(index_t next_batch) {
+  write_checkpoint_atomic(config_.checkpoint_path, [&](BinaryWriter& w) {
+    w.write_tag(kCheckpointTag);
+    w.write_i64(next_batch);
+    std::uint64_t count = 0;
+    model_->visit_parameters([&](float*, std::size_t) { ++count; });
+    w.write_u64(count);
+    model_->visit_parameters(
+        [&](float* p, std::size_t n) { w.write_array(p, n); });
+    w.write_u64(host_stores_.size());
+    for (const auto& store : host_stores_) {
+      w.write_i64(store->num_rows());
+      w.write_i64(store->dim());
+      w.write_array(store->weights().data(),
+                    static_cast<std::size_t>(store->weights().size()));
+    }
+  });
+}
+
+index_t ElRecTrainer::resume(const std::string& path) {
+  BinaryReader r(path);
+  r.expect_tag(kCheckpointTag);
+  const index_t next_batch = r.read_i64();
+  std::uint64_t count = 0;
+  model_->visit_parameters([&](float*, std::size_t) { ++count; });
+  const std::uint64_t stored = r.read_u64();
+  ELREC_CHECK(stored == count,
+              "checkpoint buffer count mismatch — different trainer config");
+  model_->visit_parameters([&](float* p, std::size_t n) {
+    const auto values = r.read_vector<float>();
+    ELREC_CHECK(values.size() == n, "checkpoint buffer size mismatch");
+    std::copy(values.begin(), values.end(), p);
+  });
+  const std::uint64_t num_host = r.read_u64();
+  ELREC_CHECK(num_host == host_stores_.size(),
+              "checkpoint host-store count mismatch");
+  for (auto& store : host_stores_) {
+    const index_t rows = r.read_i64();
+    const index_t dim = r.read_i64();
+    ELREC_CHECK(rows == store->num_rows() && dim == store->dim(),
+                "checkpoint host-store shape mismatch");
+    const auto values = r.read_vector<float>();
+    ELREC_CHECK(static_cast<index_t>(values.size()) == rows * dim,
+                "checkpoint host-store payload size mismatch");
+    Matrix weights(rows, dim);
+    std::copy(values.begin(), values.end(), weights.data());
+    store->load_weights(weights);
+  }
+  r.expect_footer();
+  return next_batch;
+}
+
 ElRecRunStats ElRecTrainer::train(SyntheticDataset& data, index_t num_batches,
-                                  index_t batch_size) {
+                                  index_t batch_size, index_t start_batch) {
+  ELREC_CHECK(start_batch >= 0 && start_batch <= num_batches,
+              "start_batch out of range");
+  ELREC_CHECK(config_.checkpoint_every_n == 0 ||
+                  !config_.checkpoint_path.empty(),
+              "checkpoint_every_n requires a checkpoint_path");
   ElRecRunStats stats;
   const auto capacity = static_cast<std::size_t>(config_.queue_capacity);
   BlockingQueue<Prefetched> prefetch_queue(capacity);
   BlockingQueue<GradUnit> gradient_queue(capacity);
   std::atomic<index_t> applied_batch_id{-1};
 
+  // Set by the server before it closes the queues on failure; the queue
+  // mutex orders the write against the worker observing the close.
+  struct ThreadFailure {
+    std::exception_ptr error;
+    index_t batch_id = -1;
+  };
+  ThreadFailure server_failure;
+
   const std::size_t num_host = host_stores_.size();
   Stopwatch wall;
 
   // ---- Server thread: data loading + parameter service ---------------
   std::thread server([&] {
-    index_t prefetched = 0;
-    index_t applied = 0;
-    while (applied < num_batches) {
-      while (auto push = gradient_queue.try_pop()) {
+    index_t current_batch = -1;
+    try {
+      index_t prefetched = start_batch;
+      index_t applied = start_batch;
+
+      auto apply = [&](GradUnit& push) {
+        current_batch = push.batch_id;
         for (std::size_t h = 0; h < num_host; ++h) {
-          host_stores_[h]->apply_gradients(push->indices[h], push->grads[h],
-                                           config_.lr);
+          with_retry(config_.host_retry, "host-store push", [&] {
+            host_stores_[h]->apply_gradients(push.indices[h], push.grads[h],
+                                             config_.lr);
+          });
         }
-        applied_batch_id.store(push->batch_id, std::memory_order_release);
+        applied_batch_id.store(push.batch_id, std::memory_order_release);
         ++applied;
+      };
+
+      while (applied < num_batches) {
+        ELREC_FAULT_POINT("pipeline.server_tick");
+        while (auto push = gradient_queue.try_pop()) apply(*push);
+        if (prefetched < num_batches) {
+          current_batch = prefetched;
+          Prefetched pf;
+          pf.batch_id = prefetched;
+          pf.batch = data.next_batch(batch_size);
+          pf.host_unique.resize(num_host);
+          pf.host_rows.resize(num_host);
+          for (std::size_t t = 0; t < host_slot_of_table_.size(); ++t) {
+            const std::size_t h = host_slot_of_table_[t];
+            if (h == static_cast<std::size_t>(-1)) continue;
+            const auto umap =
+                build_unique_index_map(pf.batch.sparse[t].indices);
+            pf.host_unique[h] = umap.unique;
+            with_retry(config_.host_retry, "host-store pull", [&] {
+              host_stores_[h]->pull(pf.host_unique[h], pf.host_rows[h]);
+            });
+          }
+          ++prefetched;
+          // Bounded push with gradient drains in between: a worker stalled
+          // at its checkpoint barrier (waiting for gradients to be applied)
+          // must not deadlock against a full prefetch queue.
+          for (;;) {
+            const QueueOpStatus st =
+                prefetch_queue.try_push_for(pf, std::chrono::milliseconds(5));
+            if (st == QueueOpStatus::kClosed) return;
+            if (st == QueueOpStatus::kOk) break;
+            while (auto push = gradient_queue.try_pop()) apply(*push);
+          }
+        } else if (applied < num_batches) {
+          auto push = gradient_queue.pop();
+          if (!push) return;
+          apply(*push);
+        }
       }
-      if (prefetched < num_batches) {
-        Prefetched pf;
-        pf.batch_id = prefetched;
-        pf.batch = data.next_batch(batch_size);
-        pf.host_unique.resize(num_host);
-        pf.host_rows.resize(num_host);
-        for (std::size_t t = 0; t < host_slot_of_table_.size(); ++t) {
-          const std::size_t h = host_slot_of_table_[t];
-          if (h == static_cast<std::size_t>(-1)) continue;
-          const auto umap = build_unique_index_map(pf.batch.sparse[t].indices);
-          pf.host_unique[h] = umap.unique;
-          host_stores_[h]->pull(pf.host_unique[h], pf.host_rows[h]);
-        }
-        ++prefetched;
-        if (!prefetch_queue.push(std::move(pf))) return;
-      } else if (applied < num_batches) {
-        auto push = gradient_queue.pop();
-        if (!push) return;
+      prefetch_queue.close();
+    } catch (...) {
+      server_failure.error = std::current_exception();
+      server_failure.batch_id = current_batch;
+      prefetch_queue.close();
+      gradient_queue.close();
+    }
+  });
+
+  // Shutdown protocol: close both queues, join the server, then drain any
+  // in-flight gradients into the stores so every successfully computed
+  // batch is durable. Safe to call on every exit path.
+  auto quiesce = [&] {
+    prefetch_queue.close();
+    gradient_queue.close();
+    if (server.joinable()) server.join();
+    while (auto push = gradient_queue.try_pop()) {
+      try {
         for (std::size_t h = 0; h < num_host; ++h) {
-          host_stores_[h]->apply_gradients(push->indices[h], push->grads[h],
-                                           config_.lr);
+          with_retry(config_.host_retry, "host-store push (drain)", [&] {
+            host_stores_[h]->apply_gradients(push->indices[h], push->grads[h],
+                                             config_.lr);
+          });
         }
-        applied_batch_id.store(push->batch_id, std::memory_order_release);
-        ++applied;
+      } catch (...) {
+        break;  // store unusable; the remaining gradients are lost anyway
       }
     }
-    prefetch_queue.close();
-  });
+  };
+
+  auto raise = [&](const char* stage, index_t batch_id,
+                   const std::exception_ptr& cause) {
+    quiesce();
+    if (server_failure.error && cause != server_failure.error) {
+      throw PipelineError("server", server_failure.batch_id,
+                          describe_exception(server_failure.error));
+    }
+    throw PipelineError(stage, batch_id, describe_exception(cause));
+  };
+
+  // Blocks until the server has absorbed every gradient up to and including
+  // `b` — the quiescent point a consistent checkpoint needs (the worker is
+  // the only gradient producer, so nothing new arrives while we wait).
+  auto wait_until_applied = [&](index_t b) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (applied_batch_id.load(std::memory_order_acquire) < b) {
+      ELREC_CHECK(!gradient_queue.closed(), "server died before checkpoint");
+      ELREC_CHECK(std::chrono::steady_clock::now() < deadline,
+                  "timed out waiting for gradient absorption at checkpoint");
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  };
 
   // ---- Worker: DLRM forward/backward ---------------------------------
   std::vector<EmbeddingCache> caches;
@@ -180,44 +332,99 @@ ElRecRunStats ElRecTrainer::train(SyntheticDataset& data, index_t num_batches,
                         config_.queue_capacity + 1);
   }
 
-  for (index_t b = 0; b < num_batches; ++b) {
-    auto pf = prefetch_queue.pop();
-    ELREC_CHECK(pf.has_value(), "prefetch queue closed early");
-
-    // Step 1: synchronize prefetched host rows against the caches.
-    for (std::size_t h = 0; h < num_host; ++h) {
-      if (config_.use_embedding_cache) {
-        stats.rows_patched += caches[h].sync(pf->host_unique[h], pf->host_rows[h]);
+  for (index_t b = start_batch; b < num_batches; ++b) {
+    Prefetched pf;
+    if (config_.queue_timeout.count() > 0) {
+      const QueueOpStatus st =
+          prefetch_queue.try_pop_for(pf, config_.queue_timeout);
+      if (st == QueueOpStatus::kTimeout) {
+        raise("worker", b,
+              std::make_exception_ptr(Error(
+                  "timed out waiting for a prefetched batch — server stalled?")));
       }
-      host_clients_[h]->install(pf->host_unique[h],
-                                std::move(pf->host_rows[h]));
+      if (st == QueueOpStatus::kClosed) {
+        raise("worker", b,
+              std::make_exception_ptr(Error("prefetch queue closed early")));
+      }
+    } else {
+      auto popped = prefetch_queue.pop();
+      if (!popped) {
+        raise("worker", b,
+              std::make_exception_ptr(Error("prefetch queue closed early")));
+      }
+      pf = std::move(*popped);
     }
 
-    // Device-side forward/backward; device tables (dense + Eff-TT) update in
-    // place, host clients capture gradients.
-    const float loss = model_->train_step(pf->batch, config_.lr);
-    stats.loss_curve.push_back(loss);
-    stats.final_loss = loss;
-
-    // Step 3: push host-table gradients; refresh the caches.
     GradUnit push;
-    push.batch_id = pf->batch_id;
-    push.indices.resize(num_host);
-    push.grads.resize(num_host);
-    for (std::size_t h = 0; h < num_host; ++h) {
-      push.indices[h] = host_clients_[h]->captured_indices();
-      push.grads[h] = host_clients_[h]->captured_grads();
-      if (config_.use_embedding_cache) {
-        caches[h].insert(push.indices[h], host_clients_[h]->updated_rows(),
-                         pf->batch_id);
-        caches[h].retire_batch(
-            applied_batch_id.load(std::memory_order_acquire));
+    try {
+      // Step 1: synchronize prefetched host rows against the caches.
+      for (std::size_t h = 0; h < num_host; ++h) {
+        if (config_.use_embedding_cache) {
+          stats.rows_patched +=
+              caches[h].sync(pf.host_unique[h], pf.host_rows[h]);
+        }
+        host_clients_[h]->install(pf.host_unique[h],
+                                  std::move(pf.host_rows[h]));
+      }
+
+      // Device-side forward/backward; device tables (dense + Eff-TT) update
+      // in place, host clients capture gradients.
+      ELREC_FAULT_POINT("elrec.compute");
+      const float loss = model_->train_step(pf.batch, config_.lr);
+      stats.loss_curve.push_back(loss);
+      stats.final_loss = loss;
+
+      // Step 3: push host-table gradients; refresh the caches.
+      push.batch_id = pf.batch_id;
+      push.indices.resize(num_host);
+      push.grads.resize(num_host);
+      for (std::size_t h = 0; h < num_host; ++h) {
+        push.indices[h] = host_clients_[h]->captured_indices();
+        push.grads[h] = host_clients_[h]->captured_grads();
+        if (config_.use_embedding_cache) {
+          caches[h].insert(push.indices[h], host_clients_[h]->updated_rows(),
+                           pf.batch_id);
+          caches[h].retire_batch(
+              applied_batch_id.load(std::memory_order_acquire));
+        }
+      }
+    } catch (...) {
+      raise("worker", pf.batch_id, std::current_exception());
+    }
+
+    if (config_.queue_timeout.count() > 0) {
+      const QueueOpStatus st =
+          gradient_queue.try_push_for(push, config_.queue_timeout);
+      if (st == QueueOpStatus::kTimeout) {
+        raise("worker", pf.batch_id,
+              std::make_exception_ptr(
+                  Error("timed out pushing gradients — server stalled?")));
+      }
+      if (st == QueueOpStatus::kClosed) {
+        raise("worker", pf.batch_id,
+              std::make_exception_ptr(Error("gradient queue closed early")));
+      }
+    } else if (!gradient_queue.push(std::move(push))) {
+      raise("worker", pf.batch_id,
+            std::make_exception_ptr(Error("gradient queue closed early")));
+    }
+    ++stats.batches;
+
+    if (config_.checkpoint_every_n > 0 &&
+        (b + 1) % config_.checkpoint_every_n == 0) {
+      try {
+        wait_until_applied(b);
+        save_checkpoint(b + 1);
+        ++stats.checkpoints_written;
+      } catch (...) {
+        raise("checkpoint", b, std::current_exception());
       }
     }
-    gradient_queue.push(std::move(push));
-    ++stats.batches;
   }
   server.join();
+  if (server_failure.error) {
+    raise("server", server_failure.batch_id, server_failure.error);
+  }
 
   for (auto& cache : caches) {
     stats.cache_peak = std::max(stats.cache_peak, cache.peak_size());

@@ -7,13 +7,17 @@
 // data loader; the worker thread runs DLRM forward/backward.
 #pragma once
 
+#include <chrono>
 #include <memory>
+#include <string>
 
+#include "common/retry.hpp"
 #include "core/eff_tt_table.hpp"
 #include "data/synthetic.hpp"
 #include "dlrm/dlrm_model.hpp"
 #include "pipeline/embedding_cache.hpp"
 #include "pipeline/host_embedding_store.hpp"
+#include "pipeline/pipeline_error.hpp"
 #include "pipeline/pipeline_trainer.hpp"
 
 namespace elrec {
@@ -33,6 +37,15 @@ struct ElRecTrainerConfig {
   bool use_embedding_cache = true;
   float lr = 0.05f;
   std::uint64_t seed = 1;
+
+  // Bounded retry + backoff for transient host-store pull/push faults.
+  RetryPolicy host_retry;
+  // Deadline for each queue wait; 0 = wait forever.
+  std::chrono::milliseconds queue_timeout{0};
+  // Every n batches the worker writes a crash-safe checkpoint of the model
+  // plus every host store to checkpoint_path (0 = off).
+  index_t checkpoint_every_n = 0;
+  std::string checkpoint_path;
 };
 
 /// Chooses placements the way the paper does: tables above `tt_threshold`
@@ -90,6 +103,7 @@ struct ElRecRunStats {
   std::vector<float> loss_curve;
   index_t rows_patched = 0;   // RAW repairs performed by the caches
   std::size_t cache_peak = 0;
+  index_t checkpoints_written = 0;
 };
 
 class ElRecTrainer {
@@ -97,9 +111,18 @@ class ElRecTrainer {
   ElRecTrainer(ElRecTrainerConfig config, const DatasetSpec& spec);
 
   /// Trains for `num_batches` batches of `batch_size`, streaming data from
-  /// `data`. Pipelined when queue_capacity > 1, sequential otherwise.
+  /// `data`, starting at `start_batch` (pass the value resume() returned,
+  /// with `data` fast-forwarded past the already-trained batches, to
+  /// continue an interrupted run). Pipelined when queue_capacity > 1,
+  /// sequential otherwise. Throws PipelineError on any thread failure,
+  /// after the shutdown protocol has quiesced the pipeline.
   ElRecRunStats train(SyntheticDataset& data, index_t num_batches,
-                      index_t batch_size);
+                      index_t batch_size, index_t start_batch = 0);
+
+  /// Loads the last durable checkpoint (model parameters + every host
+  /// store) into this trainer and returns the batch id to pass to train()
+  /// as start_batch. The trainer must be constructed with the same config.
+  index_t resume(const std::string& path);
 
   DlrmModel& model() { return *model_; }
   HostEmbeddingStore& host_store(std::size_t i) { return *host_stores_[i]; }
@@ -119,6 +142,9 @@ class ElRecTrainer {
     std::vector<std::vector<index_t>> indices;
     std::vector<Matrix> grads;
   };
+
+  /// Atomically persists model parameters + host stores + `next_batch`.
+  void save_checkpoint(index_t next_batch);
 
   ElRecTrainerConfig config_;
   std::vector<std::size_t> host_slot_of_table_;  // table -> host index or npos

@@ -1,6 +1,9 @@
 #include "pipeline/host_embedding_store.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "common/fault_injector.hpp"
 
 namespace elrec {
 
@@ -13,6 +16,7 @@ HostEmbeddingStore::HostEmbeddingStore(index_t num_rows, index_t dim,
 
 void HostEmbeddingStore::pull(const std::vector<index_t>& indices,
                               Matrix& rows) const {
+  ELREC_FAULT_POINT("host_store.pull");
   std::lock_guard lock(mu_);
   rows.resize(static_cast<index_t>(indices.size()), weights_.cols());
   for (std::size_t i = 0; i < indices.size(); ++i) {
@@ -29,12 +33,21 @@ void HostEmbeddingStore::apply_gradients(const std::vector<index_t>& indices,
   ELREC_CHECK(grads.rows() == static_cast<index_t>(indices.size()) &&
                   grads.cols() == weights_.cols(),
               "gradient shape mismatch");
+  ELREC_FAULT_POINT("host_store.push");
   std::lock_guard lock(mu_);
   for (std::size_t i = 0; i < indices.size(); ++i) {
     float* dst = weights_.row(indices[i]);
     const float* g = grads.row(static_cast<index_t>(i));
     for (index_t j = 0; j < weights_.cols(); ++j) dst[j] -= lr * g[j];
   }
+}
+
+void HostEmbeddingStore::load_weights(const Matrix& weights) {
+  std::lock_guard lock(mu_);
+  ELREC_CHECK(weights.rows() == weights_.rows() &&
+                  weights.cols() == weights_.cols(),
+              "loaded weights shape mismatch");
+  std::copy(weights.data(), weights.data() + weights.size(), weights_.data());
 }
 
 std::vector<float> HostEmbeddingStore::row_copy(index_t row) const {

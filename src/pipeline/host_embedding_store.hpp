@@ -30,6 +30,9 @@ class HostEmbeddingStore {
   /// Snapshot of one row (tests / oracle comparison).
   std::vector<float> row_copy(index_t row) const;
 
+  /// Replaces the full weight matrix (checkpoint resume). Shape must match.
+  void load_weights(const Matrix& weights);
+
   const Matrix& weights() const { return weights_; }
 
   std::size_t parameter_bytes() const {

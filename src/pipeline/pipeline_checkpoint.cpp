@@ -1,0 +1,42 @@
+#include "pipeline/pipeline_checkpoint.hpp"
+
+#include "common/serialize.hpp"
+
+namespace elrec {
+
+namespace {
+constexpr char kTag[4] = {'E', 'P', 'C', '1'};
+}
+
+void save_pipeline_checkpoint(const HostEmbeddingStore& store,
+                              index_t next_batch, const std::string& path) {
+  write_checkpoint_atomic(path, [&](BinaryWriter& w) {
+    w.write_tag(kTag);
+    w.write_i64(next_batch);
+    w.write_i64(store.num_rows());
+    w.write_i64(store.dim());
+    w.write_array(store.weights().data(),
+                  static_cast<std::size_t>(store.weights().size()));
+  });
+}
+
+index_t load_pipeline_checkpoint(HostEmbeddingStore& store,
+                                 const std::string& path) {
+  BinaryReader r(path);
+  r.expect_tag(kTag);
+  const index_t next_batch = r.read_i64();
+  const index_t rows = r.read_i64();
+  const index_t dim = r.read_i64();
+  ELREC_CHECK(rows == store.num_rows() && dim == store.dim(),
+              "pipeline checkpoint shape mismatch");
+  const auto values = r.read_vector<float>();
+  r.expect_footer();
+  ELREC_CHECK(static_cast<index_t>(values.size()) == rows * dim,
+              "pipeline checkpoint payload size mismatch");
+  Matrix weights(rows, dim);
+  std::copy(values.begin(), values.end(), weights.data());
+  store.load_weights(weights);
+  return next_batch;
+}
+
+}  // namespace elrec

@@ -1,0 +1,26 @@
+// Crash-safe checkpointing for the pipeline training system.
+//
+// A pipeline checkpoint is the durable pair (host-store weights, next batch
+// to run). It is written at a quiescent point — every gradient up to
+// `next_batch - 1` applied, none beyond — via write-to-temp + checksum
+// footer + atomic rename, so a crash at any instant leaves either the old
+// or the new checkpoint fully loadable, never a torn file. Replaying the
+// batch stream from `next_batch` reproduces the uninterrupted run exactly.
+#pragma once
+
+#include <string>
+
+#include "pipeline/host_embedding_store.hpp"
+
+namespace elrec {
+
+/// Atomically persists the store plus the id of the next batch to run.
+void save_pipeline_checkpoint(const HostEmbeddingStore& store,
+                              index_t next_batch, const std::string& path);
+
+/// Restores weights into a shape-identical store; returns `next_batch`.
+/// Throws on missing, truncated, or corrupt files.
+index_t load_pipeline_checkpoint(HostEmbeddingStore& store,
+                                 const std::string& path);
+
+}  // namespace elrec

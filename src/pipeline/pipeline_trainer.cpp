@@ -1,21 +1,48 @@
 #include "pipeline/pipeline_trainer.hpp"
 
 #include <atomic>
+#include <exception>
 #include <thread>
 
+#include "common/fault_injector.hpp"
 #include "common/stopwatch.hpp"
+#include "pipeline/pipeline_checkpoint.hpp"
 
 namespace elrec {
 
+namespace {
+
+std::string describe_exception(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+}  // namespace
+
 PipelineTrainer::PipelineTrainer(HostEmbeddingStore& store,
                                  PipelineConfig config)
-    : store_(store), config_(config) {
+    : store_(store), config_(std::move(config)) {
   ELREC_CHECK(config_.queue_capacity >= 1, "queue capacity must be >= 1");
+  ELREC_CHECK(config_.checkpoint_every_n == 0 ||
+                  !config_.checkpoint_path.empty(),
+              "checkpoint_every_n requires a checkpoint_path");
+}
+
+index_t PipelineTrainer::resume(const std::string& path) {
+  return load_pipeline_checkpoint(store_, path);
 }
 
 PipelineStats PipelineTrainer::run(
     const std::vector<std::vector<index_t>>& batches,
-    const ComputeStep& compute) {
+    const ComputeStep& compute, index_t start_batch) {
+  const auto total = static_cast<index_t>(batches.size());
+  ELREC_CHECK(start_batch >= 0 && start_batch <= total,
+              "start_batch out of range");
   PipelineStats stats;
   const auto capacity = static_cast<std::size_t>(config_.queue_capacity);
   BlockingQueue<PrefetchedBatch> prefetch_queue(capacity);
@@ -25,38 +52,113 @@ PipelineStats PipelineTrainer::run(
   // eviction (the host is authoritative once it absorbed a write).
   std::atomic<index_t> applied_batch_id{-1};
 
+  // Set by the server before it closes the queues on failure; the queue
+  // mutex orders the write against the worker observing the close.
+  struct ThreadFailure {
+    std::exception_ptr error;
+    index_t batch_id = -1;
+    const char* stage = "server";
+  };
+  ThreadFailure server_failure;
+
+  std::atomic<index_t> checkpoints_written{0};
+
   Stopwatch wall;
 
   // ---- Server thread (paper Fig. 9, CPU side) ------------------------
   std::thread server([&] {
-    std::size_t next_prefetch = 0;
-    std::size_t grads_applied = 0;
-    while (grads_applied < batches.size()) {
-      // Drain any pushed gradients first: this is what keeps host rows as
-      // fresh as possible before the next pull.
-      while (auto push = gradient_queue.try_pop()) {
-        store_.apply_gradients(push->indices, push->grads, config_.lr);
-        applied_batch_id.store(push->batch_id, std::memory_order_release);
+    index_t current_batch = -1;
+    const char* stage = "server";
+    try {
+      index_t next_prefetch = start_batch;
+      index_t grads_applied = start_batch;
+
+      auto apply = [&](GradientPush& push) {
+        stage = "server";
+        current_batch = push.batch_id;
+        with_retry(config_.host_retry, "host-store push", [&] {
+          store_.apply_gradients(push.indices, push.grads, config_.lr);
+        });
+        applied_batch_id.store(push.batch_id, std::memory_order_release);
         ++grads_applied;
+        // Quiescent point: every gradient <= batch_id applied, none beyond
+        // (the gradient queue is FIFO with this thread as sole consumer),
+        // so the store equals the sequential state after batch_id + 1
+        // batches — exactly what resume() needs to replay from.
+        if (config_.checkpoint_every_n > 0 &&
+            (push.batch_id + 1) % config_.checkpoint_every_n == 0) {
+          stage = "checkpoint";
+          save_pipeline_checkpoint(store_, push.batch_id + 1,
+                                   config_.checkpoint_path);
+          checkpoints_written.fetch_add(1, std::memory_order_relaxed);
+          stage = "server";
+        }
+      };
+
+      while (grads_applied < total) {
+        ELREC_FAULT_POINT("pipeline.server_tick");
+        // Drain any pushed gradients first: this is what keeps host rows as
+        // fresh as possible before the next pull.
+        while (auto push = gradient_queue.try_pop()) apply(*push);
+        if (next_prefetch < total) {
+          stage = "server";
+          current_batch = next_prefetch;
+          PrefetchedBatch pb;
+          pb.batch_id = next_prefetch;
+          pb.indices = batches[static_cast<std::size_t>(next_prefetch)];
+          with_retry(config_.host_retry, "host-store pull",
+                     [&] { store_.pull(pb.indices, pb.rows); });
+          ++next_prefetch;
+          if (!prefetch_queue.push(std::move(pb))) return;
+        } else if (grads_applied < total) {
+          // All batches prefetched; block on the remaining gradients.
+          auto push = gradient_queue.pop();
+          if (!push) return;
+          apply(*push);
+        }
       }
-      if (next_prefetch < batches.size()) {
-        PrefetchedBatch pb;
-        pb.batch_id = static_cast<index_t>(next_prefetch);
-        pb.indices = batches[next_prefetch];
-        store_.pull(pb.indices, pb.rows);
-        ++next_prefetch;
-        if (!prefetch_queue.push(std::move(pb))) return;
-      } else if (grads_applied < batches.size()) {
-        // All batches prefetched; block on the remaining gradients.
-        auto push = gradient_queue.pop();
-        if (!push) return;
-        store_.apply_gradients(push->indices, push->grads, config_.lr);
-        applied_batch_id.store(push->batch_id, std::memory_order_release);
-        ++grads_applied;
+      prefetch_queue.close();
+    } catch (...) {
+      server_failure.error = std::current_exception();
+      server_failure.batch_id = current_batch;
+      server_failure.stage = stage;
+      // Closing both queues unwedges a worker blocked on either side.
+      prefetch_queue.close();
+      gradient_queue.close();
+    }
+  });
+
+  // Shutdown protocol: close both queues, join the server, then drain any
+  // in-flight gradients into the store (FIFO order) so every successfully
+  // computed batch is durable. Safe to call on every exit path.
+  auto quiesce = [&] {
+    prefetch_queue.close();
+    gradient_queue.close();
+    if (server.joinable()) server.join();
+    while (auto push = gradient_queue.try_pop()) {
+      try {
+        with_retry(config_.host_retry, "host-store push (drain)", [&] {
+          store_.apply_gradients(push->indices, push->grads, config_.lr);
+        });
+      } catch (...) {
+        break;  // store unusable; the remaining gradients are lost anyway
       }
     }
-    prefetch_queue.close();
-  });
+  };
+
+  // Rethrows a recorded failure as a structured PipelineError (after the
+  // pipeline has been quiesced).
+  auto raise = [&](const char* stage, index_t batch_id,
+                   const std::exception_ptr& cause) {
+    quiesce();
+    if (server_failure.error && cause != server_failure.error) {
+      // Prefer the root cause: a worker unblocked by a dying server should
+      // report the server's failure, not its own closed-queue symptom.
+      throw PipelineError(server_failure.stage, server_failure.batch_id,
+                          describe_exception(server_failure.error));
+    }
+    throw PipelineError(stage, batch_id, describe_exception(cause));
+  };
 
   // ---- Worker (caller thread; paper Fig. 9, GPU side) -----------------
   EmbeddingCache cache(store_.dim(), config_.queue_capacity + 1);
@@ -64,50 +166,92 @@ PipelineStats PipelineTrainer::run(
   double worker_busy = 0.0;
   Matrix grads;
   Matrix updated;
-  for (std::size_t b = 0; b < batches.size(); ++b) {
-    auto pb = prefetch_queue.pop();
-    ELREC_CHECK(pb.has_value(), "prefetch queue closed early");
+  for (index_t b = start_batch; b < total; ++b) {
+    PrefetchedBatch pb;
+    if (config_.queue_timeout.count() > 0) {
+      const QueueOpStatus st = prefetch_queue.try_pop_for(pb, config_.queue_timeout);
+      if (st == QueueOpStatus::kTimeout) {
+        raise("worker", b,
+              std::make_exception_ptr(Error(
+                  "timed out waiting for a prefetched batch — server stalled?")));
+      }
+      if (st == QueueOpStatus::kClosed) {
+        raise("worker", b,
+              std::make_exception_ptr(Error("prefetch queue closed early")));
+      }
+    } else {
+      auto popped = prefetch_queue.pop();
+      if (!popped) {
+        raise("worker", b,
+              std::make_exception_ptr(Error("prefetch queue closed early")));
+      }
+      pb = std::move(*popped);
+    }
     worker_watch.reset();
 
-    // Step 1 (Fig. 9): synchronize prefetched rows with the cache.
-    if (config_.use_embedding_cache) {
-      stats.rows_patched += cache.sync(pb->indices, pb->rows);
-    }
-
-    // Compute the batch's gradients on the fresh rows.
-    compute(pb->batch_id, pb->indices, pb->rows, grads);
-    ELREC_CHECK(grads.rows() == static_cast<index_t>(pb->indices.size()) &&
-                    grads.cols() == store_.dim(),
-                "compute step produced wrong gradient shape");
-
-    // Worker-side view of the updated rows goes into the cache so the next
-    // prefetched batch can be patched (Fig. 10b).
-    if (config_.use_embedding_cache) {
-      updated.resize(pb->rows.rows(), pb->rows.cols());
-      for (index_t i = 0; i < updated.rows(); ++i) {
-        const float* r = pb->rows.row(i);
-        const float* g = grads.row(i);
-        float* u = updated.row(i);
-        for (index_t j = 0; j < updated.cols(); ++j) {
-          u[j] = r[j] - config_.lr * g[j];
-        }
+    try {
+      // Step 1 (Fig. 9): synchronize prefetched rows with the cache.
+      if (config_.use_embedding_cache) {
+        stats.rows_patched += cache.sync(pb.indices, pb.rows);
       }
-      cache.insert(pb->indices, updated, pb->batch_id);
-      cache.retire_batch(applied_batch_id.load(std::memory_order_acquire));
+
+      // Compute the batch's gradients on the fresh rows.
+      ELREC_FAULT_POINT("pipeline.compute");
+      compute(pb.batch_id, pb.indices, pb.rows, grads);
+      ELREC_CHECK(grads.rows() == static_cast<index_t>(pb.indices.size()) &&
+                      grads.cols() == store_.dim(),
+                  "compute step produced wrong gradient shape");
+
+      // Worker-side view of the updated rows goes into the cache so the next
+      // prefetched batch can be patched (Fig. 10b).
+      if (config_.use_embedding_cache) {
+        updated.resize(pb.rows.rows(), pb.rows.cols());
+        for (index_t i = 0; i < updated.rows(); ++i) {
+          const float* r = pb.rows.row(i);
+          const float* g = grads.row(i);
+          float* u = updated.row(i);
+          for (index_t j = 0; j < updated.cols(); ++j) {
+            u[j] = r[j] - config_.lr * g[j];
+          }
+        }
+        cache.insert(pb.indices, updated, pb.batch_id);
+        cache.retire_batch(applied_batch_id.load(std::memory_order_acquire));
+      }
+    } catch (...) {
+      raise("worker", pb.batch_id, std::current_exception());
     }
 
     // Step 3 (Fig. 9): push gradients to the server.
     GradientPush push;
-    push.batch_id = pb->batch_id;
-    push.indices = std::move(pb->indices);
+    push.batch_id = pb.batch_id;
+    push.indices = std::move(pb.indices);
     push.grads = grads;
     worker_busy += worker_watch.seconds();
-    gradient_queue.push(std::move(push));
+    if (config_.queue_timeout.count() > 0) {
+      const QueueOpStatus st =
+          gradient_queue.try_push_for(push, config_.queue_timeout);
+      if (st == QueueOpStatus::kTimeout) {
+        raise("worker", pb.batch_id,
+              std::make_exception_ptr(Error(
+                  "timed out pushing gradients — server stalled?")));
+      }
+      if (st == QueueOpStatus::kClosed) {
+        raise("worker", pb.batch_id,
+              std::make_exception_ptr(Error("gradient queue closed early")));
+      }
+    } else if (!gradient_queue.push(std::move(push))) {
+      raise("worker", pb.batch_id,
+            std::make_exception_ptr(Error("gradient queue closed early")));
+    }
     ++stats.batches;
   }
   server.join();
+  if (server_failure.error) {
+    raise(server_failure.stage, server_failure.batch_id, server_failure.error);
+  }
 
   stats.cache_peak = cache.peak_size();
+  stats.checkpoints_written = checkpoints_written.load();
   stats.worker_seconds = worker_busy;
   stats.wall_seconds = wall.seconds();
   return stats;

@@ -7,13 +7,24 @@
 // user-supplied compute step, and pushes gradients. The compute step is a
 // callback so both unit tests (analytic gradients with a sequential oracle)
 // and the full DLRM trainer reuse the same runtime.
+//
+// Fault tolerance: any thread failure runs the shutdown protocol — both
+// queues close, the server is joined, in-flight gradients are drained into
+// the store — and surfaces as a PipelineError naming the stage and batch.
+// Transient host-store faults are retried with exponential backoff; an
+// optional queue deadline converts a stalled peer into a diagnosed error
+// instead of a deadlock; periodic crash-safe checkpoints enable resume().
 #pragma once
 
+#include <chrono>
 #include <functional>
+#include <string>
 
 #include "common/blocking_queue.hpp"
+#include "common/retry.hpp"
 #include "pipeline/embedding_cache.hpp"
 #include "pipeline/host_embedding_store.hpp"
+#include "pipeline/pipeline_error.hpp"
 
 namespace elrec {
 
@@ -33,12 +44,26 @@ struct PipelineConfig {
   index_t queue_capacity = 4;  // depth of both queues; 1 == sequential mode
   float lr = 0.05f;
   bool use_embedding_cache = true;  // off reproduces the RAW bug (Fig. 10a)
+
+  // Bounded retry + backoff for transient host-store pull/push faults.
+  RetryPolicy host_retry;
+
+  // Deadline for each queue wait; 0 = wait forever. With a deadline set, a
+  // stalled peer (e.g. a wedged server) yields a PipelineError instead of
+  // blocking run() indefinitely.
+  std::chrono::milliseconds queue_timeout{0};
+
+  // Every n applied batches the server writes a crash-safe checkpoint of
+  // the host store to checkpoint_path (0 = off).
+  index_t checkpoint_every_n = 0;
+  std::string checkpoint_path;
 };
 
 struct PipelineStats {
   index_t batches = 0;
   index_t rows_patched = 0;      // cache sync hits
   std::size_t cache_peak = 0;    // max cache entries (LC bound check)
+  index_t checkpoints_written = 0;
   double worker_seconds = 0.0;
   double wall_seconds = 0.0;
 };
@@ -53,10 +78,18 @@ class PipelineTrainer {
  public:
   PipelineTrainer(HostEmbeddingStore& store, PipelineConfig config);
 
-  /// Runs the pipeline over `batches` (each a list of unique row indices).
-  /// Blocks until every gradient has been applied to the host store.
+  /// Runs the pipeline over `batches` (each a list of unique row indices),
+  /// starting at `start_batch` (use the value resume() returned to continue
+  /// an interrupted run). Blocks until every gradient has been applied to
+  /// the host store. Throws PipelineError on any thread failure, after the
+  /// shutdown protocol has quiesced the pipeline.
   PipelineStats run(const std::vector<std::vector<index_t>>& batches,
-                    const ComputeStep& compute);
+                    const ComputeStep& compute, index_t start_batch = 0);
+
+  /// Loads the last durable checkpoint into the host store and returns the
+  /// batch id to pass to run() as start_batch. Replaying from there yields
+  /// final parameters bitwise-identical to an uninterrupted run.
+  index_t resume(const std::string& path);
 
  private:
   HostEmbeddingStore& store_;

@@ -9,17 +9,19 @@ constexpr char kTag[4] = {'E', 'T', 'T', '1'};
 }
 
 void save_tt_cores(const TTCores& cores, const std::string& path) {
-  BinaryWriter w(path);
-  w.write_tag(kTag);
-  const TTShape& shape = cores.shape();
-  w.write_vector(shape.row_factors());
-  w.write_vector(shape.col_factors());
-  w.write_vector(shape.ranks());
-  for (int k = 0; k < shape.num_cores(); ++k) {
-    w.write_array(cores.core(k).data(),
-                  static_cast<std::size_t>(cores.core(k).size()));
-  }
-  w.flush();
+  // Staged write + checksum footer + atomic rename: a crash mid-save can
+  // never corrupt an existing checkpoint at `path`.
+  write_checkpoint_atomic(path, [&](BinaryWriter& w) {
+    w.write_tag(kTag);
+    const TTShape& shape = cores.shape();
+    w.write_vector(shape.row_factors());
+    w.write_vector(shape.col_factors());
+    w.write_vector(shape.ranks());
+    for (int k = 0; k < shape.num_cores(); ++k) {
+      w.write_array(cores.core(k).data(),
+                    static_cast<std::size_t>(cores.core(k).size()));
+    }
+  });
 }
 
 TTCores load_tt_cores(const std::string& path) {
@@ -36,6 +38,7 @@ TTCores load_tt_cores(const std::string& path) {
                 "core size mismatch in checkpoint");
     std::copy(values.begin(), values.end(), cores.core(k).data());
   }
+  r.expect_footer();
   return cores;
 }
 

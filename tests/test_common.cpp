@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <memory>
 #include <set>
 #include <thread>
 
@@ -200,6 +202,137 @@ TEST(BlockingQueue, ManyProducersManyConsumers) {
   for (auto& t : threads) t.join();
   q.close();
   for (auto& t : consumers) t.join();
+  const long expected =
+      static_cast<long>(kProducers) * kPerProducer * (kPerProducer + 1) / 2;
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(BlockingQueue, TryPopForTimesOutOnEmpty) {
+  BlockingQueue<int> q(2);
+  int out = -1;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.try_pop_for(out, std::chrono::milliseconds(20)),
+            QueueOpStatus::kTimeout);
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(15));
+  EXPECT_EQ(out, -1);
+}
+
+TEST(BlockingQueue, TryPushForTimesOutWhenFullWithoutConsumingValue) {
+  BlockingQueue<std::unique_ptr<int>> q(1);
+  auto first = std::make_unique<int>(1);
+  ASSERT_EQ(q.try_push_for(first, std::chrono::milliseconds(10)),
+            QueueOpStatus::kOk);
+  EXPECT_EQ(first, nullptr);  // transferred
+
+  auto second = std::make_unique<int>(2);
+  EXPECT_EQ(q.try_push_for(second, std::chrono::milliseconds(20)),
+            QueueOpStatus::kTimeout);
+  // The value must survive a timeout so the caller can retry it.
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(*second, 2);
+
+  std::unique_ptr<int> out;
+  ASSERT_EQ(q.try_pop_for(out, std::chrono::milliseconds(10)),
+            QueueOpStatus::kOk);
+  EXPECT_EQ(*out, 1);
+  EXPECT_EQ(q.try_push_for(second, std::chrono::milliseconds(10)),
+            QueueOpStatus::kOk);
+}
+
+TEST(BlockingQueue, TryPushForOnClosedQueueReturnsClosed) {
+  BlockingQueue<int> q(2);
+  q.close();
+  int v = 7;
+  EXPECT_EQ(q.try_push_for(v, std::chrono::milliseconds(10)),
+            QueueOpStatus::kClosed);
+}
+
+TEST(BlockingQueue, TryPopForReportsClosedOnlyAfterDrain) {
+  BlockingQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  int out = 0;
+  EXPECT_EQ(q.try_pop_for(out, std::chrono::milliseconds(10)),
+            QueueOpStatus::kOk);
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(q.try_pop_for(out, std::chrono::milliseconds(10)),
+            QueueOpStatus::kOk);
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(q.try_pop_for(out, std::chrono::milliseconds(10)),
+            QueueOpStatus::kClosed);
+}
+
+TEST(BlockingQueue, CloseWakesDeadlineWaitersEarly) {
+  BlockingQueue<int> q(1);
+  q.push(1);  // full: producers wait; consumers would succeed, so test both
+  std::atomic<int> closed_count{0};
+  std::thread producer([&] {
+    int v = 2;
+    // Far longer than the test should take; close() must cut it short.
+    if (q.try_push_for(v, std::chrono::seconds(30)) == QueueOpStatus::kClosed) {
+      ++closed_count;
+    }
+  });
+  BlockingQueue<int> empty(1);
+  std::thread consumer([&] {
+    int out;
+    if (empty.try_pop_for(out, std::chrono::seconds(30)) ==
+        QueueOpStatus::kClosed) {
+      ++closed_count;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto start = std::chrono::steady_clock::now();
+  q.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(5));
+  EXPECT_EQ(closed_count.load(), 2);
+}
+
+// MPMC stress through the deadline-aware API only: every producer retries on
+// kTimeout (as the pipeline's server does while draining gradients), every
+// item must arrive exactly once, and close() must end all consumers.
+TEST(BlockingQueue, DeadlineOpsUnderConcurrentProducersConsumers) {
+  BlockingQueue<int> q(4);
+  constexpr int kPerProducer = 300;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  std::atomic<long> total{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) {
+        int v = i;
+        QueueOpStatus st;
+        do {
+          st = q.try_push_for(v, std::chrono::milliseconds(1));
+          ASSERT_NE(st, QueueOpStatus::kClosed);
+        } while (st != QueueOpStatus::kOk);
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int out;
+      for (;;) {
+        const QueueOpStatus st = q.try_pop_for(out, std::chrono::milliseconds(1));
+        if (st == QueueOpStatus::kClosed) return;
+        if (st != QueueOpStatus::kOk) continue;
+        total += out;
+        ++popped;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
   const long expected =
       static_cast<long>(kProducers) * kPerProducer * (kPerProducer + 1) / 2;
   EXPECT_EQ(total.load(), expected);
