@@ -9,8 +9,11 @@
 //   DenseBag     — uncompressed EmbeddingBag reference
 // Paper shape: EffTT ~1.83x over TTRec on average, growing with batch size;
 // reordering adds ~1.05x on top.
+// `--quick` runs a single batch size (2048) over the three main series and
+// writes BENCH_fig17_lookup.json (ns/lookup) for the perf-regression harness.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "core/eff_tt_table.hpp"
 #include "data/synthetic.hpp"
 #include "embed/embedding_bag.hpp"
@@ -115,7 +118,62 @@ BENCHMARK(BM_Lookup_EffTT) LOOKUP_ARGS;
 BENCHMARK(BM_Lookup_EffTT_Reorder) LOOKUP_ARGS;
 BENCHMARK(BM_Lookup_DenseBag) LOOKUP_ARGS;
 
+// Best-of-3 ns per individual index lookup at the quick batch size.
+template <typename Table>
+double quick_ns_per_lookup(Table& table, const std::vector<IndexBatch>& batches,
+                           index_t batch_size) {
+  Matrix out;
+  table.forward(batches[0], out);  // warm up
+  const double secs = benchutil::time_best_seconds(
+      [&] {
+        for (const IndexBatch& b : batches) table.forward(b, out);
+      },
+      3);
+  return secs / (static_cast<double>(batches.size()) * batch_size) * 1e9;
+}
+
 }  // namespace
+
+int run_quick() {
+  benchutil::header("Fig. 17 lookup (--quick, batch 2048)");
+  constexpr index_t kBatch = 2048;
+  const auto batches = make_batches(kBatch, 8);
+  benchutil::JsonBenchReport report("fig17_lookup");
+  std::vector<std::vector<std::string>> table{{"series", "ns/lookup"}};
+  const auto record = [&](const std::string& name, double ns) {
+    report.add(name, {{"ns/lookup", ns}});
+    table.push_back({name, benchutil::fmt(ns)});
+  };
+
+  {
+    Prng rng(1);
+    TTTable t(kRows, TTShape::balanced(kRows, kDim, 3, kRank), rng);
+    record("TTRec", quick_ns_per_lookup(t, batches, kBatch));
+  }
+  {
+    Prng rng(1);
+    EffTTTable t(kRows, TTShape::balanced(kRows, kDim, 3, kRank), rng);
+    record("EffTT", quick_ns_per_lookup(t, batches, kBatch));
+  }
+  {
+    Prng rng(1);
+    EmbeddingBag t(kRows, kDim, rng);
+    record("DenseBag", quick_ns_per_lookup(t, batches, kBatch));
+  }
+
+  benchutil::print_table(table);
+  return report.write() ? 0 : 1;
+}
+
 }  // namespace elrec
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (elrec::benchutil::has_flag(argc, argv, "--quick")) {
+    return elrec::run_quick();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,11 @@
 // Substrate sanity bench: GEMM and pointer-list batched GEMM throughput for
 // the shapes the Eff-TT kernels actually launch. Not a paper figure, but
 // the baseline every TT measurement stands on.
+// `--quick` skips google-benchmark and runs a fixed shape set in a few
+// seconds, writing BENCH_gemm_substrate.json for the perf-regression harness.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "tensor/batched_gemm.hpp"
 #include "tensor/gemm.hpp"
 
@@ -72,7 +75,101 @@ void BM_Gemm_TallSkinny(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm_TallSkinny)->Arg(512)->Arg(4096)->MinTime(0.05);
 
+// Best-of-5 GFLOP/s of `fn`, which must perform `flops` float operations.
+template <typename Fn>
+double quick_gflops(double flops, Fn&& fn) {
+  fn();  // warm up caches and the page tables
+  const double secs = benchutil::time_best_seconds(fn, 5);
+  return flops / secs / 1e9;
+}
+
 }  // namespace
+
+int run_quick() {
+  benchutil::header("GEMM substrate (--quick)");
+  benchutil::JsonBenchReport report("gemm_substrate");
+  std::vector<std::vector<std::string>> table{{"kernel", "GFLOP/s"}};
+  const auto record = [&](const std::string& name, double gf) {
+    report.add(name, {{"GFLOP/s", gf}});
+    table.push_back({name, benchutil::fmt(gf)});
+  };
+  Prng rng(1);
+
+  {
+    // Blocked NN path, cache-resident square shape.
+    const index_t n = 256;
+    Matrix a(n, n), b(n, n), c(n, n);
+    a.fill_normal(rng);
+    b.fill_normal(rng);
+    const double gf = quick_gflops(2.0 * n * n * n, [&] {
+      gemm(Trans::kNo, Trans::kNo, n, n, n, 1.0f, a.data(), n, b.data(), n,
+           0.0f, c.data(), n);
+    });
+    record("gemm_nn_256", gf);
+  }
+  {
+    // MLP-like tall-skinny NN shape.
+    const index_t m = 2048;
+    Matrix x(m, 64), w(64, 256), y(m, 256);
+    x.fill_normal(rng);
+    w.fill_normal(rng);
+    const double gf = quick_gflops(2.0 * m * 256 * 64, [&] {
+      gemm(Trans::kNo, Trans::kNo, m, 256, 64, 1.0f, x.data(), 64, w.data(),
+           256, 0.0f, y.data(), 256);
+    });
+    record("gemm_nn_tallskinny_2048x256x64", gf);
+  }
+  {
+    // The Eff-TT stage-1 pointer-list shape: (4 x 16) * (16 x 64) x 1024.
+    const index_t products = 1024, n1 = 4, r1 = 16, n2r2 = 64;
+    Matrix a(products * n1, r1), b(products * r1, n2r2), c(products * n1, n2r2);
+    a.fill_normal(rng);
+    b.fill_normal(rng);
+    std::vector<const float*> pa, pb;
+    std::vector<float*> pc;
+    for (index_t i = 0; i < products; ++i) {
+      pa.push_back(a.row(i * n1));
+      pb.push_back(b.row(i * r1));
+      pc.push_back(c.row(i * n1));
+    }
+    BatchedGemmShape shape{n1,   n2r2, r1,        r1,        n2r2, n2r2,
+                           1.0f, 0.0f, Trans::kNo, Trans::kNo};
+    const double gf = quick_gflops(2.0 * n1 * n2r2 * r1 * products,
+                                   [&] { batched_gemm(shape, pa, pb, pc); });
+    record("batched_gemm_ttprefix_1024", gf);
+  }
+  {
+    // gemv, both orientations.
+    const index_t m = 2048, n = 2048;
+    Matrix a(m, n);
+    a.fill_normal(rng);
+    std::vector<float> x(static_cast<std::size_t>(n), 0.5f);
+    std::vector<float> xt(static_cast<std::size_t>(m), 0.5f);
+    std::vector<float> y(static_cast<std::size_t>(m));
+    std::vector<float> yt(static_cast<std::size_t>(n));
+    const double gf_n = quick_gflops(2.0 * m * n, [&] {
+      gemv(Trans::kNo, m, n, 1.0f, a.data(), n, x.data(), 0.0f, y.data());
+    });
+    const double gf_t = quick_gflops(2.0 * m * n, [&] {
+      gemv(Trans::kYes, m, n, 1.0f, a.data(), n, xt.data(), 0.0f, yt.data());
+    });
+    record("gemv_n_2048", gf_n);
+    record("gemv_t_2048", gf_t);
+  }
+
+  benchutil::print_table(table);
+  return report.write() ? 0 : 1;
+}
+
 }  // namespace elrec
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (elrec::benchutil::has_flag(argc, argv, "--quick")) {
+    return elrec::run_quick();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

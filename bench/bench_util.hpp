@@ -1,8 +1,13 @@
-// Shared formatting helpers for the benchmark executables.
+// Shared formatting helpers for the benchmark executables, plus the
+// machine-readable BENCH_*.json emitter used by the --quick perf harness so
+// the perf trajectory can be tracked across PRs.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace elrec::benchutil {
@@ -59,5 +64,92 @@ inline std::string fmt_bytes(double bytes) {
   }
   return buf;
 }
+
+/// True when `flag` (e.g. "--quick") appears in argv.
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+/// Best-of-`reps` wall time of fn() in seconds. Min (not mean) because the
+/// quick harness shares machines with the build; the fastest rep is the one
+/// least polluted by scheduling noise.
+template <typename Fn>
+double time_best_seconds(Fn&& fn, int reps = 5) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+/// Collects named metric rows and writes them as BENCH_<bench>.json:
+///   {"bench": "...", "schema": "elrec-bench-v1",
+///    "results": [{"name": "...", "metrics": {"GFLOP/s": 12.3, ...}}, ...]}
+/// Metric keys are free-form; the conventions used across the repo are
+/// "GFLOP/s" (kernel throughput), "ns/lookup" (per-index forward latency)
+/// and "batches/s" (training-step throughput).
+class JsonBenchReport {
+ public:
+  explicit JsonBenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(const std::string& name,
+           std::vector<std::pair<std::string, double>> metrics) {
+    rows_.push_back({name, std::move(metrics)});
+  }
+
+  std::string path() const { return "BENCH_" + bench_ + ".json"; }
+
+  /// Writes the JSON file and prints its location; returns false (with a
+  /// note) if the file cannot be opened.
+  bool write() const {
+    std::ofstream out(path());
+    if (!out) {
+      note("could not open " + path() + " for writing");
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << escaped(bench_)
+        << "\",\n  \"schema\": \"elrec-bench-v1\",\n  \"results\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << "    {\"name\": \"" << escaped(rows_[r].name)
+          << "\", \"metrics\": {";
+      for (std::size_t m = 0; m < rows_[r].metrics.size(); ++m) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", rows_[r].metrics[m].second);
+        out << "\"" << escaped(rows_[r].metrics[m].first) << "\": " << buf;
+        if (m + 1 < rows_[r].metrics.size()) out << ", ";
+      }
+      out << "}}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    note("wrote " + path());
+    return out.good();
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace elrec::benchutil

@@ -209,6 +209,7 @@ void EffTTTable::forward(const IndexBatch& batch, Matrix& out) {
     for (index_t pos = batch.bag_begin(s); pos < batch.bag_end(s); ++pos) {
       const float* src = unique_rows_buf_.row(
           cached_unique_.occurrence[static_cast<std::size_t>(pos)]);
+#pragma omp simd
       for (index_t j = 0; j < n; ++j) dst[j] += src[j];
     }
   }
@@ -250,78 +251,179 @@ void EffTTTable::forward_no_reuse(const IndexBatch& batch,
     float* dst = out.row(s);
     for (index_t pos = batch.bag_begin(s); pos < batch.bag_end(s); ++pos) {
       const float* src = occ_rows.row(pos);
+#pragma omp simd
       for (index_t j = 0; j < n; ++j) dst[j] += src[j];
     }
   }
 }
 
-float* EffTTTable::grad_slice(int k, index_t ik) {
-  auto& stamps = slice_stamp_[static_cast<std::size_t>(k)];
-  Matrix& g = core_grads_[static_cast<std::size_t>(k)];
+void EffTTTable::init_grad_accum(GradAccum& acc) const {
+  const TTShape& shape = cores_.shape();
+  const int d = shape.num_cores();
+  acc.core_grads.resize(static_cast<std::size_t>(d));
+  acc.stamp.resize(static_cast<std::size_t>(d));
+  acc.touched.resize(static_cast<std::size_t>(d));
+  for (int k = 0; k < d; ++k) {
+    acc.core_grads[static_cast<std::size_t>(k)].resize(cores_.core(k).rows(),
+                                                       cores_.core(k).cols());
+    acc.stamp[static_cast<std::size_t>(k)].assign(
+        static_cast<std::size_t>(shape.row_factor(k)), 0);
+  }
+}
+
+float* EffTTTable::grad_slice(GradAccum& acc, int k, index_t ik) {
+  auto& stamps = acc.stamp[static_cast<std::size_t>(k)];
+  Matrix& g = acc.core_grads[static_cast<std::size_t>(k)];
   const index_t rk = cores_.shape().rank(k);
   float* block = g.row(ik * rk);
-  if (stamps[static_cast<std::size_t>(ik)] != grad_epoch_) {
-    stamps[static_cast<std::size_t>(ik)] = grad_epoch_;
-    touched_[static_cast<std::size_t>(k)].push_back(ik);
+  if (stamps[static_cast<std::size_t>(ik)] != acc.epoch) {
+    stamps[static_cast<std::size_t>(ik)] = acc.epoch;
+    acc.touched[static_cast<std::size_t>(k)].push_back(ik);
     std::fill(block, block + rk * g.cols(), 0.0f);
   }
   return block;
 }
 
-void EffTTTable::accumulate_row_gradient(index_t row, const float* p12,
+void EffTTTable::accumulate_row_gradient(GradAccum& acc,
+                                         BackwardScratch& scratch,
+                                         index_t row, const float* p12,
                                          const float* g) {
   const TTShape& shape = cores_.shape();
   const int d = shape.num_cores();
   const index_t n1 = shape.col_factor(0);
   const index_t n2r2 = shape.col_factor(1) * shape.rank(2);
-  const index_t n12 = shape.col_factor(0) * shape.col_factor(1);
   const index_t r1 = shape.rank(1);
-  const index_t r2 = shape.rank(2);
 
-  std::vector<index_t> parts(static_cast<std::size_t>(d));
-  shape.factorize_row(row, parts);
+  scratch.parts.resize(static_cast<std::size_t>(d));
+  shape.factorize_row(row, scratch.parts);
 
   // Forward chain prefixes beyond P12 (needed when d > 3): chain[k] holds
   // A_k (P_k x R_{k+1}) for k in [2, d-2]; A_1 == p12.
-  std::vector<std::vector<float>> chain(static_cast<std::size_t>(d));
   if (d > 3) {
-    std::vector<float> sa, sb;
-    std::vector<float> row_out(static_cast<std::size_t>(shape.dim()));
-    chain_suffix(row, p12, row_out.data(), &chain, sa, sb);
+    scratch.chain.resize(static_cast<std::size_t>(d));
+    scratch.row_out.resize(static_cast<std::size_t>(shape.dim()));
+    chain_suffix(row, p12, scratch.row_out.data(), &scratch.chain, scratch.sa,
+                 scratch.sb);
   }
 
   // Backward sweep over cores d-1 .. 2: dA_{k} viewed (P_{k-1} x n_k R_{k+1});
   // dC_k[i_k] += A_{k-1}^T * view; dA_{k-1} = view * C_k[i_k]^T.
-  std::vector<float> d_prefix(g, g + shape.dim());
-  std::vector<float> d_prev;
+  scratch.d_prefix.assign(g, g + shape.dim());
   index_t pk = shape.dim();  // P_k as we sweep down
   for (int k = d - 1; k >= 2; --k) {
     const index_t cols = cores_.slice_cols(k);  // n_k * R_{k+1}
     const index_t rk = shape.rank(k);
     pk /= shape.col_factor(k);  // P_{k-1}
     const float* a_prev =
-        k == 2 ? p12 : chain[static_cast<std::size_t>(k - 1)].data();
+        k == 2 ? p12 : scratch.chain[static_cast<std::size_t>(k - 1)].data();
     gemm(Trans::kYes, Trans::kNo, rk, cols, pk, 1.0f, a_prev, rk,
-         d_prefix.data(), cols, 1.0f,
-         grad_slice(k, parts[static_cast<std::size_t>(k)]), cols);
-    d_prev.assign(static_cast<std::size_t>(pk) * rk, 0.0f);
-    gemm(Trans::kNo, Trans::kYes, pk, rk, cols, 1.0f, d_prefix.data(), cols,
-         cores_.slice(k, parts[static_cast<std::size_t>(k)]), cols, 0.0f,
-         d_prev.data(), rk);
-    d_prefix.swap(d_prev);
-    stats_.backward_gemms += 2;
+         scratch.d_prefix.data(), cols, 1.0f,
+         grad_slice(acc, k, scratch.parts[static_cast<std::size_t>(k)]), cols);
+    scratch.d_prev.assign(static_cast<std::size_t>(pk) * rk, 0.0f);
+    gemm(Trans::kNo, Trans::kYes, pk, rk, cols, 1.0f, scratch.d_prefix.data(),
+         cols, cores_.slice(k, scratch.parts[static_cast<std::size_t>(k)]),
+         cols, 0.0f, scratch.d_prev.data(), rk);
+    scratch.d_prefix.swap(scratch.d_prev);
+    acc.gemms += 2;
   }
 
   // First two cores from W = dP12, viewed (n1 x n2 R2).
-  ELREC_DCHECK(static_cast<index_t>(d_prefix.size()) == n12 * r2);
+  ELREC_DCHECK(static_cast<index_t>(scratch.d_prefix.size()) ==
+               n1 * shape.col_factor(1) * shape.rank(2));
   // dC1[i1] += A0^T (R1 x n1) * W-view (n1 x n2 R2); A0 = C0[i0] as n1 x R1.
   gemm(Trans::kYes, Trans::kNo, r1, n2r2, n1, 1.0f,
-       cores_.slice(0, parts[0]), r1, d_prefix.data(), n2r2, 1.0f,
-       grad_slice(1, parts[1]), n2r2);
+       cores_.slice(0, scratch.parts[0]), r1, scratch.d_prefix.data(), n2r2,
+       1.0f, grad_slice(acc, 1, scratch.parts[1]), n2r2);
   // dC0[i0] += W-view * C1[i1]^T — (n1 x R1), flat == the 1 x (n1 R1) slice.
-  gemm(Trans::kNo, Trans::kYes, n1, r1, n2r2, 1.0f, d_prefix.data(), n2r2,
-       cores_.slice(1, parts[1]), n2r2, 1.0f, grad_slice(0, parts[0]), r1);
-  stats_.backward_gemms += 2;
+  gemm(Trans::kNo, Trans::kYes, n1, r1, n2r2, 1.0f, scratch.d_prefix.data(),
+       n2r2, cores_.slice(1, scratch.parts[1]), n2r2, 1.0f,
+       grad_slice(acc, 0, scratch.parts[0]), r1);
+  acc.gemms += 2;
+}
+
+void EffTTTable::aggregate_unique_gradients(const IndexBatch& batch,
+                                            const Matrix& grad_out) {
+  const index_t n = dim();
+  const index_t u = static_cast<index_t>(cached_unique_.unique.size());
+  const std::size_t total = cached_unique_.occurrence.size();
+
+  // Position -> owning sample (bag) of the flat index list.
+  sample_of_pos_.resize(total);
+  for (index_t s = 0; s < batch.batch_size(); ++s) {
+    for (index_t pos = batch.bag_begin(s); pos < batch.bag_end(s); ++pos) {
+      sample_of_pos_[static_cast<std::size_t>(pos)] = s;
+    }
+  }
+
+  // CSR of occurrence positions per unique row; positions stay ascending
+  // within a row, so each row's gradient sum has a fixed float order no
+  // matter which thread computes it.
+  occ_offsets_.assign(static_cast<std::size_t>(u) + 1, 0);
+  for (std::size_t pos = 0; pos < total; ++pos) {
+    ++occ_offsets_[static_cast<std::size_t>(cached_unique_.occurrence[pos]) + 1];
+  }
+  for (index_t i = 0; i < u; ++i) {
+    occ_offsets_[static_cast<std::size_t>(i) + 1] +=
+        occ_offsets_[static_cast<std::size_t>(i)];
+  }
+  occ_cursor_.assign(occ_offsets_.begin(), occ_offsets_.end() - 1);
+  occ_positions_.resize(total);
+  for (std::size_t pos = 0; pos < total; ++pos) {
+    const auto uid = static_cast<std::size_t>(cached_unique_.occurrence[pos]);
+    occ_positions_[static_cast<std::size_t>(occ_cursor_[uid]++)] =
+        static_cast<index_t>(pos);
+  }
+
+  grad_agg_buf_.resize(u, n);
+#pragma omp parallel for schedule(static) if (u >= 64)
+  for (index_t i = 0; i < u; ++i) {
+    float* dst = grad_agg_buf_.row(i);
+    std::fill(dst, dst + n, 0.0f);
+    for (index_t t = occ_offsets_[static_cast<std::size_t>(i)];
+         t < occ_offsets_[static_cast<std::size_t>(i) + 1]; ++t) {
+      const index_t pos = occ_positions_[static_cast<std::size_t>(t)];
+      const float* src =
+          grad_out.row(sample_of_pos_[static_cast<std::size_t>(pos)]);
+#pragma omp simd
+      for (index_t j = 0; j < n; ++j) dst[j] += src[j];
+    }
+  }
+}
+
+void EffTTTable::merge_grad_shards() {
+  const int d = cores_.shape().num_cores();
+  for (int k = 0; k < d; ++k) {
+    // Union of the shards' touched slices, walked in fixed shard order so
+    // the master touched list (and every sum below) is thread-count-free.
+    for (GradAccum& shard : grad_shards_) {
+      for (index_t ik : shard.touched[static_cast<std::size_t>(k)]) {
+        grad_slice(grad_master_, k, ik);
+      }
+    }
+    const auto& list = grad_master_.touched[static_cast<std::size_t>(k)];
+    const index_t rk = cores_.shape().rank(k);
+    const index_t block =
+        rk * grad_master_.core_grads[static_cast<std::size_t>(k)].cols();
+#pragma omp parallel for schedule(static) if (list.size() >= 16)
+    for (std::size_t idx = 0; idx < list.size(); ++idx) {
+      const index_t ik = list[idx];
+      float* dst =
+          grad_master_.core_grads[static_cast<std::size_t>(k)].row(ik * rk);
+      for (const GradAccum& shard : grad_shards_) {
+        if (shard.stamp[static_cast<std::size_t>(k)]
+                       [static_cast<std::size_t>(ik)] != shard.epoch) {
+          continue;
+        }
+        const float* src =
+            shard.core_grads[static_cast<std::size_t>(k)].row(ik * rk);
+#pragma omp simd
+        for (index_t t = 0; t < block; ++t) dst[t] += src[t];
+      }
+    }
+  }
+  for (const GradAccum& shard : grad_shards_) {
+    grad_master_.gemms += shard.gemms;
+  }
 }
 
 void EffTTTable::backward_and_update(const IndexBatch& batch,
@@ -329,22 +431,11 @@ void EffTTTable::backward_and_update(const IndexBatch& batch,
   ELREC_CHECK(grad_out.rows() == batch.batch_size() && grad_out.cols() == dim(),
               "grad_out shape mismatch");
   const TTShape& shape = cores_.shape();
-  const int d = shape.num_cores();
-  const index_t n = dim();
 
-  if (core_grads_.empty()) {
-    core_grads_.resize(static_cast<std::size_t>(d));
-    slice_stamp_.resize(static_cast<std::size_t>(d));
-    touched_.resize(static_cast<std::size_t>(d));
-    for (int k = 0; k < d; ++k) {
-      core_grads_[static_cast<std::size_t>(k)].resize(cores_.core(k).rows(),
-                                                      cores_.core(k).cols());
-      slice_stamp_[static_cast<std::size_t>(k)].assign(
-          static_cast<std::size_t>(shape.row_factor(k)), 0);
-    }
-  }
-  ++grad_epoch_;
-  for (auto& t : touched_) t.clear();
+  if (grad_master_.core_grads.empty()) init_grad_accum(grad_master_);
+  ++grad_master_.epoch;
+  for (auto& t : grad_master_.touched) t.clear();
+  grad_master_.gemms = 0;
 
   remap_rows(batch.indices, cached_rows_);
 
@@ -357,23 +448,36 @@ void EffTTTable::backward_and_update(const IndexBatch& batch,
       unique_slots_ = prep_.slot_of;
     }
     const index_t u = static_cast<index_t>(cached_unique_.unique.size());
-    grad_agg_buf_.resize(u, n);
-    grad_agg_buf_.set_zero();
-    for (index_t s = 0; s < batch.batch_size(); ++s) {
-      const float* g = grad_out.row(s);
-      for (index_t pos = batch.bag_begin(s); pos < batch.bag_end(s); ++pos) {
-        float* dst = grad_agg_buf_.row(
-            cached_unique_.occurrence[static_cast<std::size_t>(pos)]);
-        for (index_t j = 0; j < n; ++j) dst[j] += g[j];
+    aggregate_unique_gradients(batch, grad_out);
+
+    // Step 2: chain rule once per unique row, prefix products shared.
+    // Unique rows are cut into kGradShards contiguous blocks; each shard
+    // accumulates into its own core-gradient buffers (no locks), and
+    // merge_grad_shards() folds them into grad_master_ in shard order —
+    // the result is bitwise identical at any thread count.
+    if (grad_shards_.empty()) {
+      grad_shards_.resize(kGradShards);
+      shard_scratch_.resize(kGradShards);
+      for (GradAccum& shard : grad_shards_) init_grad_accum(shard);
+    }
+#pragma omp parallel for schedule(dynamic, 1) if (u >= 2 * kGradShards)
+    for (int s = 0; s < kGradShards; ++s) {
+      GradAccum& acc = grad_shards_[static_cast<std::size_t>(s)];
+      BackwardScratch& scratch = shard_scratch_[static_cast<std::size_t>(s)];
+      ++acc.epoch;
+      for (auto& t : acc.touched) t.clear();
+      acc.gemms = 0;
+      const index_t lo = u * s / kGradShards;
+      const index_t hi = u * (s + 1) / kGradShards;
+      for (index_t i = lo; i < hi; ++i) {
+        accumulate_row_gradient(
+            acc, scratch, cached_unique_.unique[static_cast<std::size_t>(i)],
+            reuse_buffer_.slot_data(
+                unique_slots_[static_cast<std::size_t>(i)]),
+            grad_agg_buf_.row(i));
       }
     }
-    // Step 2: chain rule once per unique row, prefix products shared.
-    for (index_t i = 0; i < u; ++i) {
-      accumulate_row_gradient(
-          cached_unique_.unique[static_cast<std::size_t>(i)],
-          reuse_buffer_.slot_data(unique_slots_[static_cast<std::size_t>(i)]),
-          grad_agg_buf_.row(i));
-    }
+    merge_grad_shards();
   } else {
     // Ablation: per-occurrence gradients (the TT-Rec cost the paper removes).
     const index_t n12 = shape.col_factor(0) * shape.col_factor(1);
@@ -393,11 +497,13 @@ void EffTTTable::backward_and_update(const IndexBatch& batch,
              cores_.slice(0, prefix / m2), r1, cores_.slice(1, prefix % m2),
              n2r2, 0.0f, p12.data(), n2r2);
         stats_.backward_gemms += 1;
-        accumulate_row_gradient(row, p12.data(), g);
+        accumulate_row_gradient(grad_master_, seq_scratch_, row, p12.data(),
+                                g);
       }
     }
   }
 
+  stats_.backward_gemms += grad_master_.gemms;
   apply_update(lr);
   forward_cache_valid_ = false;  // parameters changed; cached P12 is stale
 }
@@ -419,13 +525,20 @@ void EffTTTable::apply_update(float lr) {
   if (core_optimizers_.empty()) set_optimizer(OptimizerConfig{});
   if (config_.fused_update) {
     // Fused path: one pass over the touched slices, the optimizer applied
-    // in place — no staging copy, no full-core sweep.
+    // in place — no staging copy, no full-core sweep. Touched slices are
+    // disjoint parameter regions, so the pass parallelizes without changing
+    // any per-slice float order (prepare() pre-allocates optimizer state,
+    // which would otherwise be lazily created under the race).
     for (int k = 0; k < d; ++k) {
       const index_t rk = shape.rank(k);
       const index_t cols = cores_.core(k).cols();
-      Matrix& grads = core_grads_[static_cast<std::size_t>(k)];
+      Matrix& grads = grad_master_.core_grads[static_cast<std::size_t>(k)];
       OptimizerState& opt = core_optimizers_[static_cast<std::size_t>(k)];
-      for (index_t ik : touched_[static_cast<std::size_t>(k)]) {
+      opt.prepare();
+      const auto& touched = grad_master_.touched[static_cast<std::size_t>(k)];
+#pragma omp parallel for schedule(static) if (touched.size() >= 64)
+      for (std::size_t t = 0; t < touched.size(); ++t) {
+        const index_t ik = touched[t];
         opt.update_region(cores_.core(k).row(ik * rk), grads.row(ik * rk),
                           static_cast<std::size_t>(ik * rk) * cols,
                           static_cast<std::size_t>(rk * cols), lr);
@@ -448,8 +561,8 @@ void EffTTTable::apply_update(float lr) {
     staging.set_zero();
     const index_t rk = shape.rank(k);
     const index_t cols = cores_.core(k).cols();
-    Matrix& grads = core_grads_[static_cast<std::size_t>(k)];
-    for (index_t ik : touched_[static_cast<std::size_t>(k)]) {
+    Matrix& grads = grad_master_.core_grads[static_cast<std::size_t>(k)];
+    for (index_t ik : grad_master_.touched[static_cast<std::size_t>(k)]) {
       std::copy(grads.row(ik * rk), grads.row(ik * rk) + rk * cols,
                 staging.row(ik * rk));
     }

@@ -9,6 +9,12 @@
 //    touching TT cores (in-advance gradient aggregation) and applies SGD
 //    directly to the touched slices (fused TT-core update).
 //
+// The backward runs in parallel: unique rows are partitioned into a FIXED
+// number of contiguous shards (kGradShards, independent of the thread
+// count), each shard accumulates TT-core gradients into private buffers,
+// and the shards are merged in shard order — so the updated cores are
+// bitwise identical whether the batch ran on 1 thread or N.
+//
 // Every optimization can be disabled independently through EffTTConfig; the
 // ablation benchmarks (Figs. 14/17/18) flip exactly one switch at a time.
 // An optional index bijection (§IV) remaps incoming indices before lookup.
@@ -109,12 +115,56 @@ class EffTTTable final : public IEmbeddingTable {
   void forward_no_reuse(const IndexBatch& batch,
                         const std::vector<index_t>& rows, Matrix& out);
 
-  // Gradient accumulation into the touched-slice buffers for one logical row
-  // with embedding gradient g (length dim). `p12` is its prefix product.
-  void accumulate_row_gradient(index_t row, const float* p12, const float* g);
+  // One gradient-accumulation domain: core-shaped gradient buffers with
+  // epoch-stamped lazy zeroing and per-core touched-slice lists. The master
+  // accumulator and every shard are instances of this; shards let the
+  // backward run on multiple threads while the fixed shard-merge order keeps
+  // the summed gradients bitwise identical at any thread count.
+  struct GradAccum {
+    std::vector<Matrix> core_grads;
+    std::vector<std::vector<std::uint64_t>> stamp;
+    std::vector<std::vector<index_t>> touched;
+    std::uint64_t epoch = 0;
+    std::size_t gemms = 0;  // backward GEMMs issued into this accumulator
+  };
+
+  // Reusable scratch for accumulate_row_gradient: hoists the per-row
+  // parts/chain/d_prefix heap allocations out of the unique-row loop. One
+  // instance per shard (and one for the sequential ablation path).
+  struct BackwardScratch {
+    std::vector<index_t> parts;
+    std::vector<std::vector<float>> chain;
+    std::vector<float> d_prefix;
+    std::vector<float> d_prev;
+    std::vector<float> sa, sb;
+    std::vector<float> row_out;
+  };
+
+  // Unique rows are split into this fixed number of contiguous shards,
+  // independent of the OpenMP thread count, so the reduction tree (and the
+  // float sum order) is a function of the batch alone.
+  static constexpr int kGradShards = 16;
+
+  // Gradient accumulation into `acc`'s touched-slice buffers for one logical
+  // row with embedding gradient g (length dim). `p12` is its prefix product.
+  void accumulate_row_gradient(GradAccum& acc, BackwardScratch& scratch,
+                               index_t row, const float* p12, const float* g);
 
   // Zeroes (lazily) and returns the gradient block of slice `ik` of core k.
-  float* grad_slice(int k, index_t ik);
+  float* grad_slice(GradAccum& acc, int k, index_t ik);
+
+  // Allocates core-shaped gradient buffers for one accumulator.
+  void init_grad_accum(GradAccum& acc) const;
+
+  // §III-B Step 1, parallel: segment-sums per-occurrence embedding gradients
+  // into grad_agg_buf_ (one row per unique index) via a CSR of occurrence
+  // positions, each unique row summed in ascending position order.
+  void aggregate_unique_gradients(const IndexBatch& batch,
+                                  const Matrix& grad_out);
+
+  // Adds every shard's touched slices into grad_master_ in shard order
+  // (deterministic), parallel across disjoint output slices.
+  void merge_grad_shards();
 
   void apply_update(float lr);
 
@@ -133,11 +183,20 @@ class EffTTTable final : public IEmbeddingTable {
   bool forward_cache_valid_ = false;
 
   // Touched-slice gradient accumulators (allocated like the cores; only
-  // slices seen this batch are zeroed/updated).
-  std::vector<Matrix> core_grads_;
-  std::vector<std::vector<std::uint64_t>> slice_stamp_;
-  std::vector<std::vector<index_t>> touched_;
-  std::uint64_t grad_epoch_ = 0;
+  // slices seen this batch are zeroed/updated). grad_master_ holds the final
+  // per-batch gradients consumed by apply_update; grad_shards_ are the
+  // per-shard partial accumulators of the parallel backward.
+  GradAccum grad_master_;
+  std::vector<GradAccum> grad_shards_;
+  std::vector<BackwardScratch> shard_scratch_;
+  BackwardScratch seq_scratch_;  // ablation (per-occurrence) path
+
+  // CSR of occurrence positions per unique row + pos -> sample map, rebuilt
+  // each backward batch for the parallel in-advance aggregation.
+  std::vector<index_t> sample_of_pos_;
+  std::vector<index_t> occ_offsets_;
+  std::vector<index_t> occ_cursor_;
+  std::vector<index_t> occ_positions_;
 
   // Staging buffer used only by the UNFUSED update path to model TT-Rec's
   // extra gradient copy.
@@ -146,7 +205,6 @@ class EffTTTable final : public IEmbeddingTable {
 
   Matrix unique_rows_buf_;   // unique embedding rows (forward)
   Matrix grad_agg_buf_;      // aggregated per-unique-row gradients (backward)
-  std::vector<float> w_scratch_;  // per-row W = G * C3^T workspace
 
   Stats stats_;
 };

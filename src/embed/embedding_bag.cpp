@@ -27,6 +27,7 @@ void EmbeddingBag::forward(const IndexBatch& batch, Matrix& out) {
     float* dst = out.row(s);
     for (index_t p = batch.bag_begin(s); p < batch.bag_end(s); ++p) {
       const float* src = weights_.row(batch.indices[static_cast<std::size_t>(p)]);
+#pragma omp simd
       for (index_t j = 0; j < d; ++j) dst[j] += src[j];
     }
   }

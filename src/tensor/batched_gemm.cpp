@@ -3,7 +3,7 @@
 namespace elrec {
 
 BatchedGemmStats& batched_gemm_stats() {
-  thread_local BatchedGemmStats stats;
+  static BatchedGemmStats stats;
   return stats;
 }
 
@@ -12,8 +12,6 @@ void batched_gemm(const BatchedGemmShape& shape,
                   std::span<const float* const> b, std::span<float* const> c) {
   ELREC_CHECK(a.size() == b.size() && b.size() == c.size(),
               "batched_gemm pointer lists must have equal length");
-  auto& stats = batched_gemm_stats();
-  stats.launches += 1;
 
   std::size_t executed = 0;
 #pragma omp parallel for schedule(static) reduction(+ : executed) \
@@ -24,11 +22,16 @@ void batched_gemm(const BatchedGemmShape& shape,
          a[i], shape.lda, b[i], shape.ldb, shape.beta, c[i], shape.ldc);
     ++executed;
   }
-  stats.products += executed;
-  stats.skipped += a.size() - executed;
-  stats.flops += executed * 2ULL * static_cast<std::size_t>(shape.m) *
-                 static_cast<std::size_t>(shape.n) *
-                 static_cast<std::size_t>(shape.k);
+  // One relaxed add per counter per launch; exact totals, no per-product
+  // contention.
+  auto& stats = batched_gemm_stats();
+  stats.launches.fetch_add(1, std::memory_order_relaxed);
+  stats.products.fetch_add(executed, std::memory_order_relaxed);
+  stats.skipped.fetch_add(a.size() - executed, std::memory_order_relaxed);
+  stats.flops.fetch_add(executed * 2ULL * static_cast<std::size_t>(shape.m) *
+                            static_cast<std::size_t>(shape.n) *
+                            static_cast<std::size_t>(shape.k),
+                        std::memory_order_relaxed);
 }
 
 }  // namespace elrec

@@ -6,6 +6,7 @@
 // lists; this kernel executes every (A_i, B_i, C_i) product.
 #pragma once
 
+#include <atomic>
 #include <span>
 
 #include "tensor/gemm.hpp"
@@ -34,15 +35,27 @@ void batched_gemm(const BatchedGemmShape& shape,
                   std::span<const float* const> b, std::span<float* const> c);
 
 /// Bookkeeping counters so benchmarks can report launch/FLOP savings.
+///
+/// The counters are process-wide relaxed atomics: launches recorded on a
+/// pipeline worker thread are visible from the test/driver thread (a
+/// thread_local accumulator silently read as zero there). batched_gemm()
+/// adds each launch's totals with one fetch_add per counter, so the cost
+/// stays negligible and counts are exact; only the *ordering* between
+/// concurrent launches is unspecified.
 struct BatchedGemmStats {
-  std::size_t launches = 0;       // batched_gemm() calls
-  std::size_t products = 0;       // individual GEMMs executed
-  std::size_t skipped = 0;        // nullptr gaps (reuse wins)
-  std::size_t flops = 0;          // 2*m*n*k per executed product
-  void reset() { *this = BatchedGemmStats{}; }
+  std::atomic<std::size_t> launches{0};  // batched_gemm() calls
+  std::atomic<std::size_t> products{0};  // individual GEMMs executed
+  std::atomic<std::size_t> skipped{0};   // nullptr gaps (reuse wins)
+  std::atomic<std::size_t> flops{0};     // 2*m*n*k per executed product
+  void reset() {
+    launches.store(0, std::memory_order_relaxed);
+    products.store(0, std::memory_order_relaxed);
+    skipped.store(0, std::memory_order_relaxed);
+    flops.store(0, std::memory_order_relaxed);
+  }
 };
 
-/// Thread-local stats accumulator (enabled unconditionally; negligible cost).
+/// Process-wide stats accumulator (enabled unconditionally; negligible cost).
 BatchedGemmStats& batched_gemm_stats();
 
 }  // namespace elrec

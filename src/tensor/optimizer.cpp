@@ -16,6 +16,7 @@ void OptimizerState::update_region(float* w, const float* g,
   ELREC_DCHECK(offset + n <= num_params_);
   switch (config_.kind) {
     case OptimizerKind::kSgd:
+#pragma omp simd
       for (std::size_t i = 0; i < n; ++i) w[i] -= lr * g[i];
       return;
     case OptimizerKind::kMomentum: {
@@ -30,6 +31,7 @@ void OptimizerState::update_region(float* w, const float* g,
     case OptimizerKind::kAdagrad: {
       ensure_aux();
       float* s = aux_.data() + offset;
+#pragma omp simd
       for (std::size_t i = 0; i < n; ++i) {
         s[i] += g[i] * g[i];
         w[i] -= lr * g[i] / (std::sqrt(s[i]) + config_.eps);

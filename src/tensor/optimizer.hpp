@@ -45,6 +45,12 @@ class OptimizerState {
 
   const OptimizerConfig& config() const { return config_; }
 
+  /// Allocates the auxiliary buffer up front (it is otherwise created
+  /// lazily on the first update). Call before issuing update_region() from
+  /// multiple threads: concurrent region updates on disjoint regions are
+  /// safe only once aux storage exists.
+  void prepare() { ensure_aux(); }
+
   /// w[offset .. offset+n) -= step(g) for the configured rule.
   void update_region(float* w, const float* g, std::size_t offset,
                      std::size_t n, float lr);

@@ -7,6 +7,7 @@ namespace elrec {
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   ELREC_DCHECK(x.size() == y.size());
+#pragma omp simd
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
@@ -22,6 +23,7 @@ void scale(float alpha, std::span<float> x) {
 float dot(std::span<const float> x, std::span<const float> y) {
   ELREC_DCHECK(x.size() == y.size());
   float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)
   for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
   return acc;
 }

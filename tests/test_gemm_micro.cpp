@@ -1,0 +1,213 @@
+// Property sweep for the register-tiled GEMM micro-kernel: every transpose
+// combination, shapes straddling the 4x16 tile and 64/128/256 cache-block
+// boundaries, leading dimensions larger than the logical width, and
+// alpha/beta edge values — all checked against a naive double-accumulation
+// reference on raw strided buffers. Plus bitwise thread-count invariance of
+// gemm/gemv (the property the deterministic Eff-TT backward builds on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "tensor/gemm.hpp"
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+namespace {
+
+// Naive strided reference: C = alpha * op(A) * op(B) + beta * C, double acc.
+// beta == 0 overwrites (so C may hold garbage), matching the kernel contract.
+void reference_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                    float alpha, const float* a, index_t lda, const float* b,
+                    index_t ldb, float beta, float* c, index_t ldc) {
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (index_t kk = 0; kk < k; ++kk) {
+        const float av = ta == Trans::kNo ? a[i * lda + kk] : a[kk * lda + i];
+        const float bv = tb == Trans::kNo ? b[kk * ldb + j] : b[j * ldb + kk];
+        acc += static_cast<double>(av) * bv;
+      }
+      const float prior = beta == 0.0f ? 0.0f : beta * c[i * ldc + j];
+      c[i * ldc + j] = prior + alpha * static_cast<float>(acc);
+    }
+  }
+}
+
+std::vector<float> random_buffer(Prng& rng, index_t rows, index_t ld) {
+  std::vector<float> buf(static_cast<std::size_t>(rows * ld));
+  for (auto& v : buf) v = static_cast<float>(rng.normal());
+  return buf;
+}
+
+float max_abs_diff(const std::vector<float>& x, const std::vector<float>& y) {
+  float d = 0.0f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    d = std::max(d, std::fabs(x[i] - y[i]));
+  }
+  return d;
+}
+
+struct SweepCase {
+  index_t m, n, k;
+  index_t pad;  // extra columns added to every leading dimension
+  float alpha, beta;
+};
+
+// Runs one (shape, stride, scalar) case through all four transpose combos.
+void run_sweep_case(const SweepCase& sc) {
+  for (Trans ta : {Trans::kNo, Trans::kYes}) {
+    for (Trans tb : {Trans::kNo, Trans::kYes}) {
+      Prng rng(1234 + static_cast<std::uint64_t>(sc.m * 131 + sc.n * 17 +
+                                                 sc.k * 3 + sc.pad));
+      const index_t a_rows = ta == Trans::kNo ? sc.m : sc.k;
+      const index_t a_cols = ta == Trans::kNo ? sc.k : sc.m;
+      const index_t b_rows = tb == Trans::kNo ? sc.k : sc.n;
+      const index_t b_cols = tb == Trans::kNo ? sc.n : sc.k;
+      const index_t lda = a_cols + sc.pad;
+      const index_t ldb = b_cols + sc.pad;
+      const index_t ldc = sc.n + sc.pad;
+
+      const auto a = random_buffer(rng, a_rows, lda);
+      const auto b = random_buffer(rng, b_rows, ldb);
+      auto c = random_buffer(rng, sc.m, ldc);
+      if (sc.beta == 0.0f) {
+        // beta == 0 must overwrite: poison C so any read of it shows up.
+        for (auto& v : c) v = std::numeric_limits<float>::quiet_NaN();
+      }
+      auto expected = c;
+
+      reference_gemm(ta, tb, sc.m, sc.n, sc.k, sc.alpha, a.data(), lda,
+                     b.data(), ldb, sc.beta, expected.data(), ldc);
+      gemm(ta, tb, sc.m, sc.n, sc.k, sc.alpha, a.data(), lda, b.data(), ldb,
+           sc.beta, c.data(), ldc);
+
+      // Compare only the logical m x n window; padding is never written by
+      // the reference, and the kernel must not touch it either.
+      float diff = 0.0f;
+      for (index_t i = 0; i < sc.m; ++i) {
+        for (index_t j = 0; j < sc.n; ++j) {
+          diff = std::max(diff, std::fabs(c[static_cast<std::size_t>(i * ldc + j)] -
+                                          expected[static_cast<std::size_t>(i * ldc + j)]));
+          ASSERT_FALSE(std::isnan(c[static_cast<std::size_t>(i * ldc + j)]))
+              << "NaN leaked from beta==0 C at (" << i << "," << j << ")";
+        }
+      }
+      EXPECT_LT(diff, 1e-3f * (1.0f + static_cast<float>(sc.k)))
+          << "m=" << sc.m << " n=" << sc.n << " k=" << sc.k
+          << " pad=" << sc.pad << " alpha=" << sc.alpha << " beta=" << sc.beta
+          << " ta=" << (ta == Trans::kYes) << " tb=" << (tb == Trans::kYes);
+      if (sc.beta != 0.0f) {
+        // Padding columns must be untouched (they started equal in c and
+        // expected, and the reference never writes them).
+        for (index_t i = 0; i < sc.m; ++i) {
+          for (index_t j = sc.n; j < ldc; ++j) {
+            EXPECT_EQ(c[static_cast<std::size_t>(i * ldc + j)],
+                      expected[static_cast<std::size_t>(i * ldc + j)])
+                << "padding written at (" << i << "," << j << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+// Shapes straddle the kMR=4 / kNR=16 register tile and the 64/128/256
+// cache-block edges; n <= 4 exercises the dedicated tiny-n path.
+TEST(GemmMicroKernel, ShapeSweepAllTransposeCombos) {
+  const index_t dims[] = {1, 3, 4, 5, 15, 16, 17, 33};
+  for (index_t m : dims) {
+    for (index_t n : dims) {
+      for (index_t k : dims) {
+        run_sweep_case({m, n, k, 0, 1.0f, 0.0f});
+      }
+    }
+  }
+}
+
+TEST(GemmMicroKernel, CacheBlockBoundaries) {
+  run_sweep_case({63, 127, 255, 0, 1.0f, 0.0f});
+  run_sweep_case({64, 128, 256, 0, 1.0f, 1.0f});
+  run_sweep_case({65, 129, 257, 0, 1.0f, 0.5f});
+  run_sweep_case({130, 40, 300, 0, -1.0f, 0.0f});
+}
+
+TEST(GemmMicroKernel, StridedBuffers) {
+  for (index_t pad : {1, 3, 7}) {
+    run_sweep_case({5, 17, 9, pad, 1.0f, 0.5f});
+    run_sweep_case({4, 2, 33, pad, 1.0f, 0.0f});   // tiny-n path, strided
+    run_sweep_case({33, 31, 64, pad, 2.0f, 1.0f});
+  }
+}
+
+TEST(GemmMicroKernel, AlphaBetaEdges) {
+  const float alphas[] = {0.0f, 1.0f, -1.0f, 0.5f};
+  const float betas[] = {0.0f, 1.0f, -1.0f, 0.5f};
+  for (float alpha : alphas) {
+    for (float beta : betas) {
+      run_sweep_case({17, 19, 23, 0, alpha, beta});
+    }
+  }
+}
+
+TEST(GemmMicroKernel, TinyTTShapes) {
+  // The exact shapes the Eff-TT kernels launch: stage-1 prefix products
+  // (4x16 * 16x64) and stage-2 suffix extension (n <= 4 output columns).
+  run_sweep_case({4, 64, 16, 0, 1.0f, 0.0f});
+  run_sweep_case({1, 64, 16, 0, 1.0f, 0.0f});
+  run_sweep_case({8, 2, 128, 0, 1.0f, 0.0f});
+  run_sweep_case({2, 4, 16, 0, 1.0f, 1.0f});
+}
+
+#ifdef _OPENMP
+// gemm/gemv must be bitwise identical at any thread count: the blocked loops
+// never split the k dimension across threads, so the float sum order is a
+// function of the shape alone. The deterministic Eff-TT backward (and the
+// PR 1 checkpoint/resume invariants) depend on this.
+TEST(GemmMicroKernel, BitwiseThreadCountInvariance) {
+  const int saved = omp_get_max_threads();
+  Prng rng(77);
+  const index_t m = 300, n = 200, k = 150;
+  Matrix a(m, k), b(k, n);
+  a.fill_normal(rng);
+  b.fill_normal(rng);
+
+  Matrix c1(m, n), c4(m, n);
+  omp_set_num_threads(1);
+  gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+       c1.data(), n);
+  omp_set_num_threads(4);
+  gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+       c4.data(), n);
+  EXPECT_EQ(Matrix::max_abs_diff(c1, c4), 0.0f);
+
+  // gemv needs m >= 512 (no-trans) / n >= 512 (trans) before its parallel
+  // clauses engage, so use a matrix big enough in both directions.
+  const index_t gm = 600, gn = 600;
+  Matrix g(gm, gn);
+  g.fill_normal(rng);
+  std::vector<float> x(static_cast<std::size_t>(gm), 0.25f);
+  std::vector<float> y1(static_cast<std::size_t>(gn), 0.0f);
+  std::vector<float> y4(static_cast<std::size_t>(gn), 0.0f);
+  omp_set_num_threads(1);
+  gemv(Trans::kNo, gm, gn, 1.0f, g.data(), gn, x.data(), 0.0f, y1.data());
+  omp_set_num_threads(4);
+  gemv(Trans::kNo, gm, gn, 1.0f, g.data(), gn, x.data(), 0.0f, y4.data());
+  EXPECT_EQ(max_abs_diff(y1, y4), 0.0f);
+  omp_set_num_threads(1);
+  gemv(Trans::kYes, gm, gn, 1.0f, g.data(), gn, x.data(), 0.0f, y1.data());
+  omp_set_num_threads(4);
+  gemv(Trans::kYes, gm, gn, 1.0f, g.data(), gn, x.data(), 0.0f, y4.data());
+  EXPECT_EQ(max_abs_diff(y1, y4), 0.0f);
+
+  omp_set_num_threads(saved);
+}
+#endif
+
+}  // namespace
+}  // namespace elrec

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 #include <tuple>
 
 #include "tensor/batched_gemm.hpp"
@@ -219,10 +220,45 @@ TEST(BatchedGemm, NullGapsAreSkippedAndCounted) {
   BatchedGemmShape shape{2, 2, 2, 2, 2, 2, 1.0f, 0.0f, Trans::kNo, Trans::kNo};
   batched_gemm(shape, pa, pb, pc);
   const auto& stats = batched_gemm_stats();
-  EXPECT_EQ(stats.launches, 1u);
-  EXPECT_EQ(stats.products, 2u);
-  EXPECT_EQ(stats.skipped, 1u);
-  EXPECT_EQ(stats.flops, 2u * 2 * 2 * 2 * 2);
+  EXPECT_EQ(stats.launches.load(), 1u);
+  EXPECT_EQ(stats.products.load(), 2u);
+  EXPECT_EQ(stats.skipped.load(), 1u);
+  EXPECT_EQ(stats.flops.load(), 2u * 2 * 2 * 2 * 2);
+}
+
+TEST(BatchedGemm, StatsAreProcessWideAcrossThreads) {
+  // The counters are a single process-wide accumulator (relaxed atomics),
+  // not thread_local: launches issued from a worker thread must be visible
+  // from the test thread, and concurrent launches must not lose counts.
+  Prng rng(10);
+  Matrix a(2, 2), b(2, 2);
+  a.fill_normal(rng);
+  b.fill_normal(rng);
+  BatchedGemmShape shape{2, 2, 2, 2, 2, 2, 1.0f, 0.0f, Trans::kNo, Trans::kNo};
+
+  batched_gemm_stats().reset();
+  constexpr int kThreads = 4;
+  constexpr int kLaunchesPerThread = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      Matrix c(2, 2);
+      std::vector<const float*> pa{a.data(), a.data()};
+      std::vector<const float*> pb{b.data(), b.data()};
+      std::vector<float*> pc{c.data(), c.data()};
+      for (int i = 0; i < kLaunchesPerThread; ++i) {
+        batched_gemm(shape, pa, pb, pc);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto& stats = batched_gemm_stats();
+  EXPECT_EQ(stats.launches.load(), kThreads * kLaunchesPerThread);
+  EXPECT_EQ(stats.products.load(), kThreads * kLaunchesPerThread * 2u);
+  EXPECT_EQ(stats.skipped.load(), 0u);
+  EXPECT_EQ(stats.flops.load(),
+            kThreads * kLaunchesPerThread * 2u * (2u * 2 * 2 * 2));
 }
 
 TEST(BatchedGemm, MismatchedListsThrow) {
