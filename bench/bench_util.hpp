@@ -7,8 +7,13 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace elrec::benchutil {
 
@@ -90,19 +95,55 @@ double time_best_seconds(Fn&& fn, int reps = 5) {
   return best;
 }
 
+/// Number of compute threads the benchmark will actually use (OpenMP's cap
+/// when built with it, hardware concurrency otherwise).
+inline int compute_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return static_cast<int>(std::thread::hardware_concurrency());
+#endif
+}
+
+/// Compile-time build-flag string baked in by bench/CMakeLists.txt so two
+/// BENCH_*.json files are only compared when their builds match.
+inline const char* build_flags() {
+#ifdef ELREC_BUILD_FLAGS
+  return ELREC_BUILD_FLAGS;
+#else
+  return "unknown";
+#endif
+}
+
 /// Collects named metric rows and writes them as BENCH_<bench>.json:
 ///   {"bench": "...", "schema": "elrec-bench-v1",
+///    "meta": {"threads": "8", "build": "..."},
 ///    "results": [{"name": "...", "metrics": {"GFLOP/s": 12.3, ...}}, ...]}
 /// Metric keys are free-form; the conventions used across the repo are
 /// "GFLOP/s" (kernel throughput), "ns/lookup" (per-index forward latency)
-/// and "batches/s" (training-step throughput).
+/// and "batches/s" (training-step throughput). Every report carries the
+/// thread count and build flags so numbers are comparable across runs.
 class JsonBenchReport {
  public:
-  explicit JsonBenchReport(std::string bench) : bench_(std::move(bench)) {}
+  explicit JsonBenchReport(std::string bench) : bench_(std::move(bench)) {
+    set_meta("threads", std::to_string(compute_threads()));
+    set_meta("build", build_flags());
+  }
 
   void add(const std::string& name,
            std::vector<std::pair<std::string, double>> metrics) {
     rows_.push_back({name, std::move(metrics)});
+  }
+
+  /// Adds/overwrites one environment key recorded in the "meta" object.
+  void set_meta(const std::string& key, const std::string& value) {
+    for (auto& kv : meta_) {
+      if (kv.first == key) {
+        kv.second = value;
+        return;
+      }
+    }
+    meta_.emplace_back(key, value);
   }
 
   std::string path() const { return "BENCH_" + bench_ + ".json"; }
@@ -116,7 +157,13 @@ class JsonBenchReport {
       return false;
     }
     out << "{\n  \"bench\": \"" << escaped(bench_)
-        << "\",\n  \"schema\": \"elrec-bench-v1\",\n  \"results\": [\n";
+        << "\",\n  \"schema\": \"elrec-bench-v1\",\n  \"meta\": {";
+    for (std::size_t m = 0; m < meta_.size(); ++m) {
+      out << "\"" << escaped(meta_[m].first) << "\": \""
+          << escaped(meta_[m].second) << "\"";
+      if (m + 1 < meta_.size()) out << ", ";
+    }
+    out << "},\n  \"results\": [\n";
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       out << "    {\"name\": \"" << escaped(rows_[r].name)
           << "\", \"metrics\": {";
@@ -149,6 +196,7 @@ class JsonBenchReport {
   }
 
   std::string bench_;
+  std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<Row> rows_;
 };
 

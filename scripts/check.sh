@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: configure + build + full ctest, then re-run the
+# concurrency suites selected by the "sanitize" label (the ones worth a
+# second pass under -DELREC_SANITIZE=thread|address builds).
+#
+#   scripts/check.sh                 # default build dir ./build
+#   BUILD_DIR=build-tsan scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$JOBS"
+
+echo "== tier-1: full test suite =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+echo "== sanitize-labelled concurrency suites =="
+ctest --test-dir "$BUILD_DIR" -L sanitize --output-on-failure -j"$JOBS"

@@ -63,8 +63,12 @@ class BlockingQueue {
 
   /// Deadline-aware push: waits at most `timeout` for room. `value` is
   /// moved from only on kOk, so callers can retry the same object after a
-  /// timeout (e.g. draining the other queue in between).
-  QueueOpStatus try_push_for(T& value, std::chrono::milliseconds timeout) {
+  /// timeout (e.g. draining the other queue in between). Any duration type
+  /// works — the serving scheduler passes microsecond budgets; a zero
+  /// timeout makes this a non-blocking try_push (the shedding probe).
+  template <typename Rep, typename Period>
+  QueueOpStatus try_push_for(T& value,
+                             std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mu_);
     if (!not_full_.wait_for(lock, timeout, [this] {
           return closed_ || items_.size() < capacity_;
@@ -80,8 +84,10 @@ class BlockingQueue {
 
   /// Deadline-aware pop: waits at most `timeout` for an item. kClosed is
   /// only reported once the queue is closed AND drained, so in-flight items
-  /// are never dropped on shutdown.
-  QueueOpStatus try_pop_for(T& out, std::chrono::milliseconds timeout) {
+  /// are never dropped on shutdown. Accepts any duration granularity (the
+  /// micro-batch coalescing window is sub-millisecond).
+  template <typename Rep, typename Period>
+  QueueOpStatus try_pop_for(T& out, std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mu_);
     if (!not_empty_.wait_for(lock, timeout,
                              [this] { return closed_ || !items_.empty(); })) {

@@ -79,9 +79,11 @@ index_t EffTTTable::suffix_length() const {
   return suffix;
 }
 
-void EffTTTable::compute_prefix_products(std::span<const index_t> rows) {
+void EffTTTable::fill_prefix_products(std::span<const index_t> rows,
+                                      ReuseBuffer& reuse,
+                                      PointerPrepResult& prep) const {
   const TTShape& shape = cores_.shape();
-  prepare_prefix_pointers(cores_, rows, reuse_buffer_, prep_);
+  prepare_prefix_pointers(cores_, rows, reuse, prep);
   // One batched-GEMM launch fills every claimed slot:
   //   slot = C1[i1] (n1 x R1) * C2[i2] (R1 x n2 R2).
   BatchedGemmShape g;
@@ -91,7 +93,11 @@ void EffTTTable::compute_prefix_products(std::span<const index_t> rows) {
   g.lda = g.k;
   g.ldb = g.n;
   g.ldc = g.n;
-  batched_gemm(g, prep_.ptr_a, prep_.ptr_b, prep_.ptr_c);
+  batched_gemm(g, prep.ptr_a, prep.ptr_b, prep.ptr_c);
+}
+
+void EffTTTable::compute_prefix_products(std::span<const index_t> rows) {
+  fill_prefix_products(rows, reuse_buffer_, prep_);
   stats_.forward_gemms += static_cast<std::size_t>(prep_.unique_prefixes);
 }
 
@@ -133,8 +139,10 @@ void EffTTTable::chain_suffix(index_t row, const float* p12, float* dst,
   }
 }
 
-void EffTTTable::compute_rows_from_prefixes(std::span<const index_t> rows,
-                                            Matrix& dst) {
+std::size_t EffTTTable::expand_rows_from_prefixes(
+    std::span<const index_t> rows, const ReuseBuffer& reuse,
+    const PointerPrepResult& prep, Matrix& dst, std::vector<float>& sa,
+    std::vector<float>& sb) const {
   const TTShape& shape = cores_.shape();
   const int d = shape.num_cores();
   dst.resize(static_cast<index_t>(rows.size()), shape.dim());
@@ -150,7 +158,7 @@ void EffTTTable::compute_rows_from_prefixes(std::span<const index_t> rows,
     std::vector<const float*> pb(rows.size());
     std::vector<float*> pc(rows.size());
     for (std::size_t i = 0; i < rows.size(); ++i) {
-      pa[i] = reuse_buffer_.slot_data(prep_.slot_of[i]);
+      pa[i] = reuse.slot_data(prep.slot_of[i]);
       pb[i] = cores_.slice(2, rows[i] % m3);
       pc[i] = dst.row(static_cast<index_t>(i));
     }
@@ -162,17 +170,22 @@ void EffTTTable::compute_rows_from_prefixes(std::span<const index_t> rows,
     g.ldb = n3;
     g.ldc = n3;
     batched_gemm(g, pa, pb, pc);
-    stats_.forward_gemms += rows.size();
-    return;
+    return rows.size();
   }
 
   // Generic d: chain the remaining cores per row.
-  std::vector<float> sa, sb;
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    chain_suffix(rows[i], reuse_buffer_.slot_data(prep_.slot_of[i]),
+    chain_suffix(rows[i], reuse.slot_data(prep.slot_of[i]),
                  dst.row(static_cast<index_t>(i)), nullptr, sa, sb);
-    stats_.forward_gemms += static_cast<std::size_t>(d - 2);
   }
+  return rows.size() * static_cast<std::size_t>(d - 2);
+}
+
+void EffTTTable::compute_rows_from_prefixes(std::span<const index_t> rows,
+                                            Matrix& dst) {
+  std::vector<float> sa, sb;
+  stats_.forward_gemms +=
+      expand_rows_from_prefixes(rows, reuse_buffer_, prep_, dst, sa, sb);
 }
 
 void EffTTTable::forward(const IndexBatch& batch, Matrix& out) {
@@ -202,18 +215,50 @@ void EffTTTable::forward(const IndexBatch& batch, Matrix& out) {
 
   compute_rows_from_prefixes(cached_unique_.unique, unique_rows_buf_);
 
-  // Sum pooling (paper Step 4), gathering from the deduped rows.
+  pool_unique_rows(batch, cached_unique_, unique_rows_buf_, out);
+  forward_cache_valid_ = true;
+}
+
+void EffTTTable::pool_unique_rows(const IndexBatch& batch,
+                                  const UniqueIndexMap& unique,
+                                  const Matrix& unique_rows, Matrix& out) {
+  // Sum pooling (paper Step 4), gathering from the deduped rows. Per-bag
+  // sums run in ascending position order, so the result is independent of
+  // the thread count AND of how the batch was composed (a request pooled
+  // alone or inside a coalesced micro-batch sums identically).
+  const index_t b = batch.batch_size();
+  const index_t n = out.cols();
 #pragma omp parallel for schedule(static) if (b >= 256)
   for (index_t s = 0; s < b; ++s) {
     float* dst = out.row(s);
     for (index_t pos = batch.bag_begin(s); pos < batch.bag_end(s); ++pos) {
-      const float* src = unique_rows_buf_.row(
-          cached_unique_.occurrence[static_cast<std::size_t>(pos)]);
+      const float* src =
+          unique_rows.row(unique.occurrence[static_cast<std::size_t>(pos)]);
 #pragma omp simd
       for (index_t j = 0; j < n; ++j) dst[j] += src[j];
     }
   }
-  forward_cache_valid_ = true;
+}
+
+std::unique_ptr<ILookupContext> EffTTTable::make_lookup_context() const {
+  return std::make_unique<EffTTLookupContext>(prefix_count(cores_.shape()),
+                                              prefix_floats(cores_.shape()));
+}
+
+void EffTTTable::lookup(const IndexBatch& batch, Matrix& out,
+                        ILookupContext* ctx) const {
+  auto* ws = dynamic_cast<EffTTLookupContext*>(ctx);
+  ELREC_CHECK(ws != nullptr,
+              "EffTTTable::lookup needs the context returned by "
+              "make_lookup_context() — one per concurrent reader");
+  batch.validate(num_rows_);
+  remap_rows(batch.indices, ws->rows);
+  ws->unique = build_unique_index_map(ws->rows);
+  fill_prefix_products(ws->unique.unique, ws->reuse, ws->prep);
+  expand_rows_from_prefixes(ws->unique.unique, ws->reuse, ws->prep,
+                            ws->unique_rows, ws->sa, ws->sb);
+  out.resize(batch.batch_size(), dim());
+  pool_unique_rows(batch, ws->unique, ws->unique_rows, out);
 }
 
 void EffTTTable::forward_no_reuse(const IndexBatch& batch,

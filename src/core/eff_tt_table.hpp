@@ -18,6 +18,19 @@
 // Every optimization can be disabled independently through EffTTConfig; the
 // ablation benchmarks (Figs. 14/17/18) flip exactly one switch at a time.
 // An optional index bijection (§IV) remaps incoming indices before lookup.
+//
+// Thread-safety contract:
+//  * forward() / backward_and_update() are TRAINING entry points. They write
+//    the shared reuse buffer, pointer-prep lists, forward cache and stats,
+//    so at most one thread may drive them at a time (the pipeline's worker
+//    role). They must never run concurrently with each other or with any
+//    other member on the same table.
+//  * lookup() is the SERVING entry point. It is const, touches only the TT
+//    cores / bijection (read-only) and a caller-owned EffTTLookupContext, so
+//    any number of threads may call it concurrently on one frozen table —
+//    provided each thread passes its own context from make_lookup_context()
+//    (the per-worker reuse buffer) and nothing mutates the table meanwhile.
+//    Sharing one context between threads is a data race.
 #pragma once
 
 #include <span>
@@ -38,6 +51,24 @@ struct EffTTConfig {
   bool fused_update = true;            // §III-B fused TT-core update
 };
 
+/// Per-reader scratch for EffTTTable::lookup(): a private reuse buffer,
+/// pointer-prep lists and row staging, so concurrent const readers never
+/// touch shared mutable state. Obtain via EffTTTable::make_lookup_context().
+class EffTTLookupContext final : public ILookupContext {
+ public:
+  EffTTLookupContext(index_t num_prefixes, index_t slot_floats)
+      : reuse(num_prefixes, slot_floats) {}
+
+ private:
+  friend class EffTTTable;
+  ReuseBuffer reuse;
+  PointerPrepResult prep;
+  std::vector<index_t> rows;       // remapped physical rows of the batch
+  UniqueIndexMap unique;
+  Matrix unique_rows;              // one materialized row per unique index
+  std::vector<float> sa, sb;       // chain_suffix scratch (d > 3)
+};
+
 class EffTTTable final : public IEmbeddingTable {
  public:
   EffTTTable(index_t num_rows, TTShape shape, Prng& rng,
@@ -52,6 +83,16 @@ class EffTTTable final : public IEmbeddingTable {
   void forward(const IndexBatch& batch, Matrix& out) override;
   void backward_and_update(const IndexBatch& batch, const Matrix& grad_out,
                            float lr) override;
+
+  /// Allocates the per-reader reuse buffer + scratch for lookup().
+  std::unique_ptr<ILookupContext> make_lookup_context() const override;
+
+  /// Frozen forward (see the thread-safety contract above): same two-level
+  /// reuse algorithm as forward(), identical float operation order — the
+  /// produced rows are bitwise equal to forward()'s for the same cores —
+  /// but all mutable state lives in `ctx`, so concurrent readers are safe.
+  void lookup(const IndexBatch& batch, Matrix& out,
+              ILookupContext* ctx) const override;
 
   std::size_t parameter_bytes() const override {
     return cores_.parameter_bytes();
@@ -94,12 +135,29 @@ class EffTTTable final : public IEmbeddingTable {
   // Applies the bijection (if any) producing the physical row list.
   void remap_rows(const std::vector<index_t>& in, std::vector<index_t>& out) const;
 
-  // Fills prefix products for `rows` into reuse_buffer_ via Algorithm 1 +
-  // one batched GEMM; prep_ gets per-position slots.
-  void compute_prefix_products(std::span<const index_t> rows);
+  // Fills prefix products for `rows` into `reuse` via Algorithm 1 + one
+  // batched GEMM; `prep` gets per-position slots. Const: all mutable state
+  // is the caller's, so the serving path can share this with training.
+  void fill_prefix_products(std::span<const index_t> rows, ReuseBuffer& reuse,
+                            PointerPrepResult& prep) const;
 
   // Stage 2: extends each row's prefix product through the remaining cores
   // into dst rows (dst row i <- rows[i]); batched-GEMM fast path for d == 3.
+  // Returns the number of per-row GEMMs issued (for stats).
+  std::size_t expand_rows_from_prefixes(std::span<const index_t> rows,
+                                        const ReuseBuffer& reuse,
+                                        const PointerPrepResult& prep,
+                                        Matrix& dst, std::vector<float>& sa,
+                                        std::vector<float>& sb) const;
+
+  // Sum pooling (paper Step 4) of deduped rows into per-sample outputs.
+  static void pool_unique_rows(const IndexBatch& batch,
+                               const UniqueIndexMap& unique,
+                               const Matrix& unique_rows, Matrix& out);
+
+  // Training wrappers over the two stages: use the member reuse buffer /
+  // prep lists and update stats_.
+  void compute_prefix_products(std::span<const index_t> rows);
   void compute_rows_from_prefixes(std::span<const index_t> rows, Matrix& dst);
 
   // prod_{k >= 2} m_k — the divisor turning a row id into its prefix id.

@@ -40,6 +40,32 @@ std::vector<double> cumulative_access_share(SyntheticDataset& data, index_t t,
   return out;
 }
 
+std::vector<index_t> top_accessed_indices(SyntheticDataset& data, index_t t,
+                                          index_t k, index_t num_draws,
+                                          index_t batch_size) {
+  ELREC_CHECK(k >= 0, "hot-set size must be non-negative");
+  std::unordered_map<index_t, index_t> counts;
+  index_t drawn = 0;
+  while (drawn < num_draws) {
+    const MiniBatch batch = data.next_batch(batch_size);
+    for (index_t idx : batch.sparse[static_cast<std::size_t>(t)].indices) {
+      ++counts[idx];
+      ++drawn;
+    }
+  }
+  std::vector<std::pair<index_t, index_t>> freq(counts.begin(), counts.end());
+  std::sort(freq.begin(), freq.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::vector<index_t> hot;
+  hot.reserve(static_cast<std::size_t>(k));
+  for (std::size_t i = 0;
+       i < freq.size() && hot.size() < static_cast<std::size_t>(k); ++i) {
+    hot.push_back(freq[i].first);
+  }
+  return hot;
+}
+
 double avg_unique_indices_per_batch(SyntheticDataset& data, index_t t,
                                     index_t batch_size, index_t num_batches) {
   ELREC_CHECK(num_batches > 0, "need at least one batch");

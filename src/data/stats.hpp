@@ -20,4 +20,12 @@ std::vector<double> cumulative_access_share(SyntheticDataset& data, index_t t,
 double avg_unique_indices_per_batch(SyntheticDataset& data, index_t t,
                                     index_t batch_size, index_t num_batches);
 
+/// RecShard-style hot set: the `k` most-accessed indices of table `t`,
+/// measured over `num_draws` sampled indices, hottest first (ties broken by
+/// ascending index, so the result is deterministic for a seeded dataset).
+/// Seeds the serving cache's admission/warm set.
+std::vector<index_t> top_accessed_indices(SyntheticDataset& data, index_t t,
+                                          index_t k, index_t num_draws,
+                                          index_t batch_size = 4096);
+
 }  // namespace elrec

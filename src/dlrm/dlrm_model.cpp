@@ -76,6 +76,55 @@ void DlrmModel::predict(const MiniBatch& batch, std::vector<float>& probs) {
   }
 }
 
+DlrmInferenceWorkspace DlrmModel::make_inference_workspace() const {
+  DlrmInferenceWorkspace ws;
+  ws.emb_out.resize(tables_.size());
+  ws.table_ctx.reserve(tables_.size());
+  for (const auto& t : tables_) {
+    ws.table_ctx.push_back(t->make_lookup_context());
+  }
+  return ws;
+}
+
+void DlrmModel::predict_frozen(const MiniBatch& batch,
+                               std::vector<float>& probs,
+                               DlrmInferenceWorkspace& ws,
+                               const TableLookupFn& table_lookup) const {
+  ELREC_CHECK(batch.dense.cols() == config_.num_dense,
+              "dense feature width mismatch");
+  ELREC_CHECK(batch.sparse.size() == tables_.size(),
+              "one IndexBatch per table required");
+  ELREC_CHECK(ws.table_ctx.size() == tables_.size() &&
+                  ws.emb_out.size() == tables_.size(),
+              "workspace not from make_inference_workspace()");
+
+  bottom_mlp_.forward_frozen(batch.dense, ws.bottom_out, ws.mlp_scratch_a,
+                             ws.mlp_scratch_b);
+
+  std::vector<const Matrix*> features;
+  features.reserve(tables_.size() + 1);
+  features.push_back(&ws.bottom_out);
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    ILookupContext* ctx = ws.table_ctx[t].get();
+    if (table_lookup) {
+      table_lookup(static_cast<index_t>(t), batch.sparse[t], ws.emb_out[t],
+                   ctx);
+    } else {
+      tables_[t]->lookup(batch.sparse[t], ws.emb_out[t], ctx);
+    }
+    features.push_back(&ws.emb_out[t]);
+  }
+
+  interaction_.forward_frozen(features, ws.interact_out, ws.stacked_scratch);
+  top_mlp_.forward_frozen(ws.interact_out, ws.logits, ws.mlp_scratch_a,
+                          ws.mlp_scratch_b);
+
+  probs.resize(static_cast<std::size_t>(ws.logits.rows()));
+  for (index_t i = 0; i < ws.logits.rows(); ++i) {
+    probs[static_cast<std::size_t>(i)] = sigmoid(ws.logits.at(i, 0));
+  }
+}
+
 float DlrmModel::train_step(const MiniBatch& batch, float lr) {
   Matrix logits;
   forward(batch, logits);

@@ -17,6 +17,19 @@
 
 namespace elrec {
 
+/// Per-reader scratch for DlrmModel::predict_frozen(): activation buffers
+/// plus one ILookupContext per embedding table. One instance per concurrent
+/// inference thread; obtain via DlrmModel::make_inference_workspace().
+struct DlrmInferenceWorkspace {
+  Matrix bottom_out;
+  std::vector<Matrix> emb_out;
+  Matrix interact_out;
+  Matrix logits;
+  Matrix mlp_scratch_a, mlp_scratch_b;
+  Matrix stacked_scratch;
+  std::vector<std::unique_ptr<ILookupContext>> table_ctx;
+};
+
 struct DlrmConfig {
   index_t num_dense = 13;                     // continuous input features
   index_t embedding_dim = 16;                 // d — shared feature dimension
@@ -34,12 +47,34 @@ class DlrmModel {
   IEmbeddingTable& table(index_t t) {
     return *tables_[static_cast<std::size_t>(t)];
   }
+  const IEmbeddingTable& table(index_t t) const {
+    return *tables_[static_cast<std::size_t>(t)];
+  }
 
   /// Forward pass producing CTR logits (B x 1); state cached for backward.
   void forward(const MiniBatch& batch, Matrix& logits);
 
   /// Forward + sigmoid, producing click probabilities.
   void predict(const MiniBatch& batch, std::vector<float>& probs);
+
+  /// Allocates the per-reader scratch for predict_frozen() (one lookup
+  /// context per table).
+  DlrmInferenceWorkspace make_inference_workspace() const;
+
+  /// Overrides how predict_frozen() resolves one table's pooled embeddings
+  /// (the serving cache hooks in here). Must fill `out` exactly as
+  /// table(t).lookup() would.
+  using TableLookupFn = std::function<void(
+      index_t t, const IndexBatch& batch, Matrix& out, ILookupContext* ctx)>;
+
+  /// Inference-only forward + sigmoid: identical probabilities to predict()
+  /// (bitwise, for the same parameters) but strictly read-only — all
+  /// mutable state lives in `ws`, so any number of threads may serve
+  /// requests concurrently from one frozen model. `batch.labels` may be
+  /// empty. Embedding tables must support the lookup() path.
+  void predict_frozen(const MiniBatch& batch, std::vector<float>& probs,
+                      DlrmInferenceWorkspace& ws,
+                      const TableLookupFn& table_lookup = {}) const;
 
   /// One SGD training step; returns the batch BCE loss.
   float train_step(const MiniBatch& batch, float lr);

@@ -13,6 +13,13 @@ FeatureInteraction::FeatureInteraction(index_t num_features, index_t dim)
 
 void FeatureInteraction::forward(const std::vector<const Matrix*>& features,
                                  Matrix& out) {
+  cached_batch_ = features.empty() ? 0 : features[0]->rows();
+  forward_frozen(features, out, stacked_);
+}
+
+void FeatureInteraction::forward_frozen(
+    const std::vector<const Matrix*>& features, Matrix& out,
+    Matrix& stacked_scratch) const {
   ELREC_CHECK(static_cast<index_t>(features.size()) == num_features_,
               "wrong number of interaction features");
   const index_t b = features[0]->rows();
@@ -20,15 +27,15 @@ void FeatureInteraction::forward(const std::vector<const Matrix*>& features,
     ELREC_CHECK(f->rows() == b && f->cols() == dim_,
                 "interaction feature shape mismatch");
   }
-  cached_batch_ = b;
 
   // Stack features sample-major: stacked row (s * F + f) = features[f][s].
-  stacked_.resize(b * num_features_, dim_);
+  stacked_scratch.resize(b * num_features_, dim_);
   for (index_t f = 0; f < num_features_; ++f) {
     const Matrix& src = *features[static_cast<std::size_t>(f)];
     for (index_t s = 0; s < b; ++s) {
       copy({src.row(s), static_cast<std::size_t>(dim_)},
-           {stacked_.row(s * num_features_ + f), static_cast<std::size_t>(dim_)});
+           {stacked_scratch.row(s * num_features_ + f),
+            static_cast<std::size_t>(dim_)});
     }
   }
 
@@ -37,14 +44,14 @@ void FeatureInteraction::forward(const std::vector<const Matrix*>& features,
   for (index_t s = 0; s < b; ++s) {
     float* dst = out.row(s);
     // Dense passthrough.
-    const float* dense = stacked_.row(s * num_features_ + 0);
+    const float* dense = stacked_scratch.row(s * num_features_ + 0);
     for (index_t j = 0; j < dim_; ++j) dst[j] = dense[j];
     // Upper-triangular pairwise dots.
     index_t pos = dim_;
     for (index_t i = 0; i < num_features_; ++i) {
-      const float* fi = stacked_.row(s * num_features_ + i);
+      const float* fi = stacked_scratch.row(s * num_features_ + i);
       for (index_t j = i + 1; j < num_features_; ++j) {
-        const float* fj = stacked_.row(s * num_features_ + j);
+        const float* fj = stacked_scratch.row(s * num_features_ + j);
         dst[pos++] = dot({fi, static_cast<std::size_t>(dim_)},
                          {fj, static_cast<std::size_t>(dim_)});
       }

@@ -32,6 +32,12 @@ class FeatureInteraction {
   /// grads[f] receives d(loss)/d(features[f]), resized to (B x dim).
   void backward(const Matrix& grad_out, std::vector<Matrix>& grads) const;
 
+  /// Inference-only forward: same arithmetic as forward() but the feature
+  /// stack lives in caller-owned `stacked_scratch`, so nothing on the layer
+  /// mutates and concurrent readers are safe.
+  void forward_frozen(const std::vector<const Matrix*>& features, Matrix& out,
+                      Matrix& stacked_scratch) const;
+
  private:
   index_t num_features_;
   index_t dim_;

@@ -57,6 +57,28 @@ void Mlp::forward(const Matrix& in, Matrix& out) {
   }
 }
 
+void Mlp::forward_frozen(const Matrix& in, Matrix& out, Matrix& scratch_a,
+                         Matrix& scratch_b) const {
+  ELREC_CHECK(in.cols() == input_dim(), "MLP input dim mismatch");
+  const index_t b = in.rows();
+  const int n = num_layers();
+
+  const Matrix* cur = &in;
+  for (int l = 0; l < n; ++l) {
+    Matrix& z = (l == n - 1) ? out : (l % 2 == 0 ? scratch_a : scratch_b);
+    matmul(*cur, weights_[static_cast<std::size_t>(l)], z);
+    const auto& bias = biases_[static_cast<std::size_t>(l)];
+    for (index_t i = 0; i < b; ++i) {
+      float* row = z.row(i);
+      for (std::size_t j = 0; j < bias.size(); ++j) row[j] += bias[j];
+    }
+    if (l < n - 1) {
+      relu_inplace({z.data(), static_cast<std::size_t>(z.size())});
+      cur = &z;
+    }
+  }
+}
+
 void Mlp::backward_and_update(const Matrix& grad_out, Matrix& grad_in,
                               float lr) {
   const int n = num_layers();

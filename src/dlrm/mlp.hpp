@@ -32,6 +32,13 @@ class Mlp {
   /// (B x output_dim). Activations are cached for backward.
   void forward(const Matrix& in, Matrix& out);
 
+  /// Inference-only forward: identical arithmetic (and bitwise-identical
+  /// output) to forward(), but nothing is cached — the two ping-pong
+  /// activation buffers are caller-owned, so concurrent readers each pass
+  /// their own pair and the weights stay strictly read-only.
+  void forward_frozen(const Matrix& in, Matrix& out, Matrix& scratch_a,
+                      Matrix& scratch_b) const;
+
   /// Backward for the cached forward: grad_out is (B x output_dim);
   /// grad_in resized to (B x input_dim). Parameters are updated with SGD(lr).
   void backward_and_update(const Matrix& grad_out, Matrix& grad_in, float lr);

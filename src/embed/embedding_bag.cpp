@@ -33,6 +33,23 @@ void EmbeddingBag::forward(const IndexBatch& batch, Matrix& out) {
   }
 }
 
+void EmbeddingBag::lookup(const IndexBatch& batch, Matrix& out,
+                          ILookupContext* /*ctx*/) const {
+  batch.validate(num_rows());
+  const index_t b = batch.batch_size();
+  const index_t d = dim();
+  out.resize(b, d);
+  for (index_t s = 0; s < b; ++s) {
+    float* dst = out.row(s);
+    for (index_t p = batch.bag_begin(s); p < batch.bag_end(s); ++p) {
+      const float* src =
+          weights_.row(batch.indices[static_cast<std::size_t>(p)]);
+#pragma omp simd
+      for (index_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
+  }
+}
+
 void EmbeddingBag::backward_and_update(const IndexBatch& batch,
                                        const Matrix& grad_out, float lr) {
   ELREC_CHECK(grad_out.rows() == batch.batch_size() && grad_out.cols() == dim(),

@@ -7,8 +7,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "common/error.hpp"
 #include "embed/index_batch.hpp"
 #include "tensor/matrix.hpp"
 
@@ -17,6 +19,14 @@ namespace elrec {
 /// Callback over a table's float parameter buffers (used by data-parallel
 /// parameter averaging and checkpointing).
 using ParameterVisitor = std::function<void(float*, std::size_t)>;
+
+/// Opaque per-reader scratch for the const lookup() path. Implementations
+/// that need working memory (e.g. the Eff-TT reuse buffer) subclass this;
+/// each concurrent reader owns exactly one context and never shares it.
+class ILookupContext {
+ public:
+  virtual ~ILookupContext() = default;
+};
 
 class IEmbeddingTable {
  public:
@@ -30,6 +40,26 @@ class IEmbeddingTable {
 
   /// Sum-pooled lookup: out is resized to (batch_size x dim).
   virtual void forward(const IndexBatch& batch, Matrix& out) = 0;
+
+  /// Allocates the per-reader scratch consumed by lookup(). Returns nullptr
+  /// when the implementation needs none (the context is still accepted).
+  virtual std::unique_ptr<ILookupContext> make_lookup_context() const {
+    return nullptr;
+  }
+
+  /// Frozen read-only sum-pooled lookup — the serving path. Unlike forward()
+  /// it mutates nothing on the table, so any number of threads may call it
+  /// concurrently on the same table as long as each passes its own context
+  /// from make_lookup_context(). Must produce bitwise-identical rows to
+  /// forward() for the same parameters. Implementations that cannot offer a
+  /// const path keep this default, which throws.
+  virtual void lookup(const IndexBatch& batch, Matrix& out,
+                      ILookupContext* ctx) const {
+    (void)batch;
+    (void)out;
+    (void)ctx;
+    throw Error(name() + " does not support the frozen lookup() path");
+  }
 
   /// Applies gradients for the most recent forward. grad_out is
   /// (batch_size x dim); the table updates its parameters with plain SGD at

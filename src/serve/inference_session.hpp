@@ -1,0 +1,91 @@
+// Frozen-model inference session.
+//
+// Owns a trained DlrmModel (typically restored via load_dlrm_model +
+// load_tt_cores) and exposes only its const serving path: predict() runs
+// DlrmModel::predict_frozen() with every piece of mutable state confined to
+// the caller's WorkerState, so N threads serve concurrently from one model
+// with zero synchronization on the parameters.
+//
+// Each embedding table optionally gets a ServingCache of fully materialized
+// rows. The cache hooks into the lookup through predict_frozen()'s
+// TableLookupFn: unique rows are probed first, misses are materialized by
+// the table's frozen lookup() and offered for admission, then pooling runs
+// over the merged rows. Cached values are verbatim copies of what lookup()
+// produced, so cached and uncached requests are bitwise identical.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dlrm/dlrm_model.hpp"
+#include "serve/serving_cache.hpp"
+
+namespace elrec {
+
+struct InferenceSessionConfig {
+  /// Applied to every embedding table; capacity 0 serves straight from the
+  /// tables with no caching.
+  ServingCacheConfig cache;
+};
+
+class InferenceSession {
+ public:
+  /// Per-worker mutable state: the model workspace plus the cache-path
+  /// scratch. One per concurrent caller of predict(); never share.
+  struct WorkerState {
+    DlrmInferenceWorkspace ws;
+    // Cache-path scratch (per table call, reused across tables/requests).
+    UniqueIndexMap unique;
+    Matrix unique_vals;          // unique-rows embedding staging
+    std::vector<char> hit;       // probe hit mask over unique rows
+    std::vector<index_t> miss_rows;
+    std::vector<index_t> miss_pos;  // position of each miss in unique list
+    Matrix miss_vals;               // table-computed rows for the misses
+  };
+
+  explicit InferenceSession(std::unique_ptr<DlrmModel> model,
+                            InferenceSessionConfig config = {});
+
+  const DlrmModel& model() const { return *model_; }
+  index_t num_tables() const { return model_->num_tables(); }
+  index_t num_dense() const { return model_->config().num_dense; }
+
+  std::unique_ptr<WorkerState> make_worker_state() const;
+
+  /// Frozen forward + sigmoid for a batch of requests. Thread-safe across
+  /// callers as long as each passes its own WorkerState. labels may be
+  /// empty.
+  void predict(const MiniBatch& batch, std::vector<float>& probs,
+               WorkerState& state) const;
+
+  /// Seeds table `t`'s cache with the given hot rows (e.g. from
+  /// data/stats top_accessed_indices), materializing them through the
+  /// table's frozen lookup. Call before serving starts; not concurrent
+  /// with predict().
+  void warm_cache(index_t t, const std::vector<index_t>& rows);
+
+  /// Invalidates every table's cache (stale-generation path after swapping
+  /// in new parameters).
+  void clear_caches();
+
+  /// nullptr when caching is disabled.
+  const ServingCache* cache(index_t t) const {
+    return caches_[static_cast<std::size_t>(t)].get();
+  }
+
+  /// Aggregate hit fraction across all tables (0 when nothing probed).
+  double cache_hit_rate() const;
+
+ private:
+  void cached_table_lookup(index_t t, const IndexBatch& batch, Matrix& out,
+                           ILookupContext* ctx, WorkerState& state) const;
+
+  std::unique_ptr<DlrmModel> model_;
+  InferenceSessionConfig config_;
+  // ServingCache is internally synchronized, so admission from const
+  // predict() is safe; the unique_ptr array itself is never mutated after
+  // construction.
+  std::vector<std::unique_ptr<ServingCache>> caches_;
+};
+
+}  // namespace elrec

@@ -1,0 +1,83 @@
+// Per-request latency tracking for the serving engine.
+//
+// Each served request records its queue wait (submit → micro-batch pickup)
+// and compute time (its micro-batch's forward pass) separately, so tail
+// latency can be attributed to scheduling vs. model cost. Percentiles use
+// the nearest-rank method over the full sample set.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace elrec {
+
+struct LatencySummary {
+  std::size_t count = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Thread-safe recorder; record() is called by every scheduler worker, the
+/// summaries by the driver after (or during) the run.
+class LatencyRecorder {
+ public:
+  void record(double queue_us, double compute_us) {
+    std::lock_guard lock(mu_);
+    queue_us_.push_back(queue_us);
+    compute_us_.push_back(compute_us);
+    total_us_.push_back(queue_us + compute_us);
+  }
+
+  std::size_t count() const {
+    std::lock_guard lock(mu_);
+    return total_us_.size();
+  }
+
+  LatencySummary queue_summary() const { return summarize(queue_us_); }
+  LatencySummary compute_summary() const { return summarize(compute_us_); }
+  LatencySummary total_summary() const { return summarize(total_us_); }
+
+  /// Nearest-rank percentile of `q` in [0, 1]; sorts a copy.
+  static double percentile(std::vector<double> samples, double q) {
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const auto n = samples.size();
+    auto rank = static_cast<std::size_t>(q * static_cast<double>(n));
+    if (rank >= n) rank = n - 1;
+    return samples[rank];
+  }
+
+ private:
+  LatencySummary summarize(const std::vector<double>& src) const {
+    std::vector<double> samples;
+    {
+      std::lock_guard lock(mu_);
+      samples = src;
+    }
+    LatencySummary s;
+    s.count = samples.size();
+    if (samples.empty()) return s;
+    double sum = 0.0;
+    for (double v : samples) {
+      sum += v;
+      s.max_us = std::max(s.max_us, v);
+    }
+    s.mean_us = sum / static_cast<double>(samples.size());
+    s.p50_us = percentile(samples, 0.50);
+    s.p95_us = percentile(samples, 0.95);
+    s.p99_us = percentile(samples, 0.99);
+    return s;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<double> queue_us_;
+  std::vector<double> compute_us_;
+  std::vector<double> total_us_;
+};
+
+}  // namespace elrec

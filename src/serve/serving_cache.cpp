@@ -1,0 +1,161 @@
+#include "serve/serving_cache.hpp"
+
+#include <cstring>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+ServingCache::ServingCache(index_t num_rows, index_t dim,
+                           ServingCacheConfig config)
+    : config_(config), num_rows_(num_rows), dim_(dim) {
+  ELREC_CHECK(num_rows > 0 && dim > 0, "cache needs a non-empty table");
+  ELREC_CHECK(config.capacity >= 0, "cache capacity must be non-negative");
+  ELREC_CHECK(config.victim_scan > 0, "victim scan must probe at least once");
+  if (config_.capacity > num_rows_) config_.capacity = num_rows_;
+  row_of_slot_.assign(static_cast<std::size_t>(config_.capacity), -1);
+  if (config_.capacity > 0) values_.resize(config_.capacity, dim_);
+  freq_ = std::vector<std::atomic<std::uint32_t>>(
+      static_cast<std::size_t>(num_rows_));
+}
+
+index_t ServingCache::size() const {
+  std::shared_lock lock(mu_);
+  return resident_;
+}
+
+index_t ServingCache::probe(const std::vector<index_t>& rows, Matrix& dst,
+                            std::vector<char>& hit) {
+  ELREC_CHECK(dst.rows() == static_cast<index_t>(rows.size()) &&
+                  dst.cols() == dim_,
+              "probe destination must be rows x dim");
+  hit.assign(rows.size(), 0);
+  if (config_.capacity == 0) {
+    misses_.fetch_add(rows.size(), std::memory_order_relaxed);
+    for (index_t r : rows) {
+      freq_[static_cast<std::size_t>(r)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+    }
+    return 0;
+  }
+  index_t found = 0;
+  std::shared_lock lock(mu_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const index_t r = rows[i];
+    ELREC_DCHECK(r >= 0 && r < num_rows_);
+    freq_[static_cast<std::size_t>(r)].fetch_add(1, std::memory_order_relaxed);
+    const auto it = slot_of_row_.find(r);
+    if (it == slot_of_row_.end()) continue;
+    std::memcpy(dst.row(static_cast<index_t>(i)), values_.row(it->second),
+                sizeof(float) * static_cast<std::size_t>(dim_));
+    hit[i] = 1;
+    ++found;
+  }
+  hits_.fetch_add(static_cast<std::size_t>(found), std::memory_order_relaxed);
+  misses_.fetch_add(rows.size() - static_cast<std::size_t>(found),
+                    std::memory_order_relaxed);
+  return found;
+}
+
+index_t ServingCache::place_locked(index_t row, const float* value,
+                                   std::uint32_t freq) {
+  index_t slot = -1;
+  if (resident_ < config_.capacity) {
+    // Free slot: clock hand points at the next unfilled one eventually;
+    // scan from it so fill order stays deterministic.
+    for (index_t probe = 0; probe < config_.capacity; ++probe) {
+      const index_t s = (clock_hand_ + probe) % config_.capacity;
+      if (row_of_slot_[static_cast<std::size_t>(s)] < 0) {
+        slot = s;
+        break;
+      }
+    }
+    ++resident_;
+  } else {
+    // Bounded clock scan for a strictly colder victim.
+    for (int probe = 0; probe < config_.victim_scan; ++probe) {
+      const index_t s = (clock_hand_ + probe) % config_.capacity;
+      const index_t victim = row_of_slot_[static_cast<std::size_t>(s)];
+      if (freq_[static_cast<std::size_t>(victim)].load(
+              std::memory_order_relaxed) < freq) {
+        slot_of_row_.erase(victim);
+        evicted_.fetch_add(1, std::memory_order_relaxed);
+        slot = s;
+        break;
+      }
+    }
+    if (slot < 0) return -1;
+  }
+  clock_hand_ = (slot + 1) % config_.capacity;
+  row_of_slot_[static_cast<std::size_t>(slot)] = row;
+  slot_of_row_[row] = slot;
+  std::memcpy(values_.row(slot), value,
+              sizeof(float) * static_cast<std::size_t>(dim_));
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void ServingCache::admit(const std::vector<index_t>& rows,
+                         const Matrix& values) {
+  if (config_.capacity == 0 || rows.empty()) return;
+  ELREC_CHECK(values.rows() == static_cast<index_t>(rows.size()) &&
+                  values.cols() == dim_,
+              "admit values must be rows x dim");
+  std::unique_lock lock(mu_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const index_t r = rows[i];
+    if (slot_of_row_.count(r)) continue;  // already resident
+    const std::uint32_t f =
+        freq_[static_cast<std::size_t>(r)].load(std::memory_order_relaxed);
+    if (f < config_.admit_min_freq) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (place_locked(r, values.row(static_cast<index_t>(i)), f) < 0) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ServingCache::warm(const std::vector<index_t>& rows,
+                        const Matrix& values) {
+  if (config_.capacity == 0 || rows.empty()) return;
+  ELREC_CHECK(values.rows() == static_cast<index_t>(rows.size()) &&
+                  values.cols() == dim_,
+              "warm values must be rows x dim");
+  std::unique_lock lock(mu_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const index_t r = rows[i];
+    ELREC_CHECK(r >= 0 && r < num_rows_, "warm row out of range");
+    // Pre-credit the row so it both passes admission and defends its slot
+    // against the first wave of cold traffic.
+    auto& f = freq_[static_cast<std::size_t>(r)];
+    if (f.load(std::memory_order_relaxed) < config_.admit_min_freq) {
+      f.store(config_.admit_min_freq, std::memory_order_relaxed);
+    }
+    if (slot_of_row_.count(r)) continue;
+    place_locked(r, values.row(static_cast<index_t>(i)),
+                 f.load(std::memory_order_relaxed));
+  }
+}
+
+void ServingCache::clear() {
+  std::unique_lock lock(mu_);
+  slot_of_row_.clear();
+  row_of_slot_.assign(static_cast<std::size_t>(config_.capacity), -1);
+  resident_ = 0;
+  clock_hand_ = 0;
+}
+
+ServingCacheStats ServingCache::stats_snapshot() const {
+  ServingCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.evicted = evicted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace elrec

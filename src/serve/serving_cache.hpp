@@ -1,0 +1,107 @@
+// Admission-controlled cache of fully materialized embedding rows.
+//
+// Serving reads are Zipf-skewed (paper Fig. 4a): a small hot set of rows
+// takes most of the traffic. Caching a hot row's final d-float embedding
+// skips its entire TT contraction chain at lookup time. Admission is
+// frequency-gated (RecShard-style hot/cold split): a row enters the cache
+// only after it has been requested `admit_min_freq` times, so one-off cold
+// rows cannot churn the hot set. Eviction is a bounded clock scan that only
+// displaces a resident row strictly colder than the candidate.
+//
+// Thread safety: probe() takes a shared lock (concurrent with other
+// probes); admit()/warm()/clear() take the exclusive lock. All counters are
+// relaxed atomics. Safe for any number of scheduler workers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+struct ServingCacheConfig {
+  index_t capacity = 0;              // cached rows; 0 disables the cache
+  std::uint32_t admit_min_freq = 2;  // accesses before a row may be admitted
+  int victim_scan = 8;               // clock probes per admission attempt
+};
+
+struct ServingCacheStats {
+  std::size_t hits = 0;      // probed rows served from the slab
+  std::size_t misses = 0;    // probed rows that fell through to the table
+  std::size_t admitted = 0;  // rows that entered the cache
+  std::size_t evicted = 0;   // resident rows displaced by hotter ones
+  std::size_t rejected = 0;  // admission attempts denied (cold or no victim)
+};
+
+class ServingCache {
+ public:
+  /// `num_rows`/`dim` describe the backing table; the value slab holds
+  /// `config.capacity` rows of `dim` floats.
+  ServingCache(index_t num_rows, index_t dim, ServingCacheConfig config);
+
+  index_t capacity() const { return config_.capacity; }
+  index_t dim() const { return dim_; }
+  /// Resident rows (exclusive lock; intended for tests/reports).
+  index_t size() const;
+
+  /// Looks up each row; on a hit copies its embedding into dst.row(i) and
+  /// sets hit[i] = 1, else hit[i] = 0 and dst.row(i) is untouched. Bumps
+  /// every row's frequency counter (hits and misses alike — misses are what
+  /// earn future admission). dst must already be (rows.size() x dim);
+  /// returns the number of hits.
+  index_t probe(const std::vector<index_t>& rows, Matrix& dst,
+                std::vector<char>& hit);
+
+  /// Offers freshly computed rows (values.row(i) belongs to rows[i]) for
+  /// admission. Rows already resident or colder than admit_min_freq are
+  /// skipped; a full cache admits only over a strictly colder victim found
+  /// within `victim_scan` clock probes.
+  void admit(const std::vector<index_t>& rows, const Matrix& values);
+
+  /// Inserts rows unconditionally (evicting clock victims if full) and
+  /// marks them hot enough to defend their slots. Used to seed the cache
+  /// from a measured hot set before serving starts; not for concurrent use
+  /// with probe() on the same rows' first touch.
+  void warm(const std::vector<index_t>& rows, const Matrix& values);
+
+  /// Drops every resident row (the stale-generation path: after a model
+  /// reload all cached embeddings are invalid). Frequency history survives
+  /// so the hot set re-forms quickly.
+  void clear();
+
+  ServingCacheStats stats_snapshot() const;
+
+ private:
+  // Caller must hold the exclusive lock. Returns the slot index the row was
+  // placed in, or -1 if admission failed (no free slot and no colder
+  // victim). `freq` is the candidate's current frequency.
+  index_t place_locked(index_t row, const float* value, std::uint32_t freq);
+
+  ServingCacheConfig config_;
+  index_t num_rows_ = 0;
+  index_t dim_ = 0;
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<index_t, index_t> slot_of_row_;  // row -> slot
+  std::vector<index_t> row_of_slot_;                  // slot -> row (-1 free)
+  Matrix values_;                                     // capacity x dim slab
+  index_t clock_hand_ = 0;
+  index_t resident_ = 0;
+
+  // Per-row access frequency; relaxed — approximate under contention is
+  // fine, admission only needs "requested repeatedly", not exact counts.
+  std::vector<std::atomic<std::uint32_t>> freq_;
+
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> admitted_{0};
+  std::atomic<std::size_t> evicted_{0};
+  std::atomic<std::size_t> rejected_{0};
+};
+
+}  // namespace elrec

@@ -58,4 +58,41 @@ struct BatchedGemmStats {
 /// Process-wide stats accumulator (enabled unconditionally; negligible cost).
 BatchedGemmStats& batched_gemm_stats();
 
+/// Plain-value snapshot of the process-wide counters.
+struct BatchedGemmCounts {
+  std::size_t launches = 0;
+  std::size_t products = 0;
+  std::size_t skipped = 0;
+  std::size_t flops = 0;
+};
+
+inline BatchedGemmCounts batched_gemm_counts() {
+  const auto& s = batched_gemm_stats();
+  return {s.launches.load(std::memory_order_relaxed),
+          s.products.load(std::memory_order_relaxed),
+          s.skipped.load(std::memory_order_relaxed),
+          s.flops.load(std::memory_order_relaxed)};
+}
+
+/// Scoped delta over the process-wide counters: captures a snapshot at
+/// construction; delta() reports only the launches issued since. Lets
+/// per-request/per-batch compute accounting (the serving scheduler) exclude
+/// warm-up and other callers' history without reset()ing the global state.
+/// Note the counters are process-wide, so concurrent launches from OTHER
+/// threads land in the delta too; attribute deltas only around regions you
+/// know are exclusive, or treat them as an upper bound.
+class ScopedBatchedGemmCounters {
+ public:
+  ScopedBatchedGemmCounters() : start_(batched_gemm_counts()) {}
+
+  BatchedGemmCounts delta() const {
+    const BatchedGemmCounts now = batched_gemm_counts();
+    return {now.launches - start_.launches, now.products - start_.products,
+            now.skipped - start_.skipped, now.flops - start_.flops};
+  }
+
+ private:
+  BatchedGemmCounts start_;
+};
+
 }  // namespace elrec

@@ -1,0 +1,215 @@
+// Eviction / life-cycle edge cases for the two embedding caches: the
+// serving-side ServingCache (capacity-bounded, frequency-admitted) and the
+// pipeline's EmbeddingCache (LC-bounded). Both must survive degenerate
+// capacities, repeated evict-readmit churn, and stale-generation reads.
+#include <gtest/gtest.h>
+
+#include "pipeline/embedding_cache.hpp"
+#include "serve/serving_cache.hpp"
+
+namespace elrec {
+namespace {
+
+Matrix row_values(const std::vector<index_t>& rows, index_t dim, float scale) {
+  Matrix m(static_cast<index_t>(rows.size()), dim);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (index_t j = 0; j < dim; ++j) {
+      m.at(static_cast<index_t>(i), j) =
+          scale * static_cast<float>(rows[i]) + static_cast<float>(j);
+    }
+  }
+  return m;
+}
+
+TEST(ServingCache, CapacityZeroDisablesWithoutCrashing) {
+  ServingCacheConfig cfg;
+  cfg.capacity = 0;
+  ServingCache cache(100, 4, cfg);
+
+  const std::vector<index_t> rows = {1, 2, 3};
+  Matrix dst(3, 4);
+  std::vector<char> hit;
+  EXPECT_EQ(cache.probe(rows, dst, hit), 0);
+  EXPECT_EQ(hit, (std::vector<char>{0, 0, 0}));
+
+  cache.admit(rows, row_values(rows, 4, 1.0f));  // no-op, must not throw
+  EXPECT_EQ(cache.size(), 0);
+  const auto s = cache.stats_snapshot();
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.admitted, 0u);
+}
+
+TEST(ServingCache, CapacityOneEvictReadmitChurn) {
+  ServingCacheConfig cfg;
+  cfg.capacity = 1;
+  cfg.admit_min_freq = 1;
+  ServingCache cache(100, 4, cfg);
+
+  Matrix dst(1, 4);
+  std::vector<char> hit;
+
+  // Round-robin two rows through the single slot several times. Each
+  // admission needs the candidate strictly hotter than the resident, so
+  // alternate probes keep raising the counters and the slot keeps flipping.
+  index_t flips = 0;
+  for (int round = 0; round < 6; ++round) {
+    const index_t r = round % 2;
+    // Probe twice so this row overtakes the resident's frequency.
+    cache.probe({r}, dst, hit);
+    cache.probe({r}, dst, hit);
+    if (!hit[0]) {
+      cache.admit({r}, row_values({r}, 4, 2.0f));
+      if (cache.probe({r}, dst, hit); hit[0]) ++flips;
+    }
+  }
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_GE(flips, 2);  // the slot really did evict and readmit
+  const auto s = cache.stats_snapshot();
+  EXPECT_GE(s.evicted, 1u);
+  EXPECT_EQ(s.admitted, static_cast<std::size_t>(flips));
+}
+
+TEST(ServingCache, AdmissionRequiresMinFrequency) {
+  ServingCacheConfig cfg;
+  cfg.capacity = 8;
+  cfg.admit_min_freq = 3;
+  ServingCache cache(100, 4, cfg);
+
+  Matrix dst(1, 4);
+  std::vector<char> hit;
+
+  cache.probe({7}, dst, hit);  // freq 1 < 3: too cold
+  cache.admit({7}, row_values({7}, 4, 1.0f));
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.stats_snapshot().rejected, 1u);
+
+  cache.probe({7}, dst, hit);
+  cache.probe({7}, dst, hit);  // freq 3: admissible
+  cache.admit({7}, row_values({7}, 4, 1.0f));
+  EXPECT_EQ(cache.size(), 1);
+  cache.probe({7}, dst, hit);
+  EXPECT_TRUE(hit[0]);
+  EXPECT_FLOAT_EQ(dst.at(0, 1), 7.0f + 1.0f);
+}
+
+TEST(ServingCache, ClearInvalidatesStaleGeneration) {
+  ServingCacheConfig cfg;
+  cfg.capacity = 4;
+  cfg.admit_min_freq = 1;
+  ServingCache cache(100, 4, cfg);
+
+  const std::vector<index_t> rows = {10, 11};
+  Matrix dst(2, 4);
+  std::vector<char> hit;
+  cache.probe(rows, dst, hit);
+  cache.admit(rows, row_values(rows, 4, 1.0f));
+  EXPECT_EQ(cache.size(), 2);
+
+  // Model reload: old embeddings are stale. clear() must make every probe
+  // miss so the next generation is recomputed, never served from the slab.
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.probe(rows, dst, hit), 0);
+  EXPECT_EQ(hit, (std::vector<char>{0, 0}));
+
+  // Frequency history survives, so the hot rows re-enter immediately.
+  cache.admit(rows, row_values(rows, 4, 3.0f));
+  cache.probe(rows, dst, hit);
+  EXPECT_TRUE(hit[0] && hit[1]);
+  EXPECT_FLOAT_EQ(dst.at(0, 0), 30.0f);  // new generation's values
+}
+
+TEST(ServingCache, WarmBypassesAdmissionAndDefendsSlots) {
+  ServingCacheConfig cfg;
+  cfg.capacity = 2;
+  cfg.admit_min_freq = 5;
+  ServingCache cache(100, 4, cfg);
+
+  // Never probed, yet warm() admits unconditionally.
+  cache.warm({1, 2}, row_values({1, 2}, 4, 1.0f));
+  EXPECT_EQ(cache.size(), 2);
+
+  // A cold row (freq 1 < warmed rows' credited freq) cannot displace them.
+  Matrix dst(1, 4);
+  std::vector<char> hit;
+  cache.probe({50}, dst, hit);
+  cache.admit({50}, row_values({50}, 4, 1.0f));
+  cache.probe({1}, dst, hit);
+  EXPECT_TRUE(hit[0]);
+  cache.probe({2}, dst, hit);
+  EXPECT_TRUE(hit[0]);
+}
+
+TEST(ServingCache, CapacityClampedToTableRows) {
+  ServingCacheConfig cfg;
+  cfg.capacity = 1000;  // larger than the table
+  cfg.admit_min_freq = 1;
+  ServingCache cache(10, 4, cfg);
+  EXPECT_EQ(cache.capacity(), 10);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline EmbeddingCache life-cycle edges (shared semantics: bounded
+// residency, churn, and no stale reads after eviction).
+
+TEST(EmbeddingCache, LcOneEvictsAfterSingleRetire) {
+  EmbeddingCache cache(/*dim=*/4, /*lc_init=*/1);
+  cache.insert({5}, row_values({5}, 4, 1.0f), /*batch_id=*/0);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Host has absorbed batch 0; one retirement burns the single life.
+  cache.retire_batch(/*applied_batch_id=*/0);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Stale-generation read: the evicted entry must not patch anything.
+  Matrix rows = row_values({5}, 4, 9.0f);
+  EXPECT_EQ(cache.sync({5}, rows), 0);
+  EXPECT_FLOAT_EQ(rows.at(0, 0), 45.0f);  // untouched host value
+}
+
+TEST(EmbeddingCache, EvictionWaitsForHostToAbsorbWrite) {
+  EmbeddingCache cache(4, /*lc_init=*/1);
+  cache.insert({5}, row_values({5}, 4, 1.0f), /*batch_id=*/3);
+
+  // LC hits zero but the host has only applied batch 2 — the entry's write
+  // (batch 3) is not yet durable, so it must survive.
+  cache.retire_batch(/*applied_batch_id=*/2);
+  EXPECT_EQ(cache.size(), 1u);
+  Matrix rows(1, 4);
+  EXPECT_EQ(cache.sync({5}, rows), 1);
+
+  cache.retire_batch(/*applied_batch_id=*/3);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(EmbeddingCache, RepeatedEvictReadmitRefreshesValue) {
+  EmbeddingCache cache(4, /*lc_init=*/2);
+  for (index_t gen = 0; gen < 4; ++gen) {
+    cache.insert({7}, row_values({7}, 4, static_cast<float>(gen + 1)),
+                 /*batch_id=*/gen);
+    Matrix rows(1, 4);
+    ASSERT_EQ(cache.sync({7}, rows), 1);
+    EXPECT_FLOAT_EQ(rows.at(0, 0), static_cast<float>(gen + 1) * 7.0f);
+    cache.retire_batch(gen);
+    cache.retire_batch(gen);  // burn both lives; entry evicted
+    EXPECT_EQ(cache.size(), 0u);
+  }
+  EXPECT_EQ(cache.peak_size(), 1u);
+}
+
+TEST(EmbeddingCache, ReinsertResetsLifecycle) {
+  EmbeddingCache cache(4, /*lc_init=*/2);
+  cache.insert({9}, row_values({9}, 4, 1.0f), 0);
+  cache.retire_batch(0);  // LC 2 -> 1
+  // Refresh before eviction: LC back to lc_init, newer value wins.
+  cache.insert({9}, row_values({9}, 4, 5.0f), 1);
+  cache.retire_batch(1);  // LC 2 -> 1, still resident
+  Matrix rows(1, 4);
+  ASSERT_EQ(cache.sync({9}, rows), 1);
+  EXPECT_FLOAT_EQ(rows.at(0, 0), 45.0f);
+  cache.retire_batch(1);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace elrec
