@@ -9,6 +9,7 @@
 //     the paper's configuration — largest tables TT on device, rest in host
 //     memory — using the timeline simulator fed by the cost models.
 #include "bench_util.hpp"
+#include "obs/trace.hpp"
 #include "sim_inputs.hpp"
 #include "pipeline/elrec_trainer.hpp"
 #include "sim/framework_models.hpp"
@@ -19,7 +20,7 @@ using namespace elrec::benchutil;
 
 namespace {
 
-void real_pipeline_demo() {
+void real_pipeline_demo(index_t num_batches, JsonBenchReport* report) {
   header("Fig. 16 (real runtime): pipelined vs sequential EL-Rec training");
   DatasetSpec spec;
   spec.name = "pipe-demo";
@@ -47,17 +48,30 @@ void real_pipeline_demo() {
     cfg.queue_capacity = depth;
     ElRecTrainer trainer(cfg, spec);
     SyntheticDataset data(spec, 17);
-    const ElRecRunStats stats = trainer.train(data, 120, 256);
+    const ElRecRunStats stats = trainer.train(data, num_batches, 256);
     (depth == 1 ? seq_loss : pipe_loss) = stats.final_loss;
     rows.push_back({depth == 1 ? "Sequential (queue=1)" : "Pipeline (queue=4)",
                     std::to_string(stats.batches), fmt(stats.final_loss, 4),
                     std::to_string(stats.rows_patched),
                     std::to_string(stats.cache_peak),
                     fmt(stats.wall_seconds, 2)});
+    if (report != nullptr) {
+      report->add(depth == 1 ? "sequential_q1" : "pipeline_q4",
+                  {{"batches/s", static_cast<double>(stats.batches) /
+                                     stats.wall_seconds},
+                   {"final_loss", stats.final_loss},
+                   {"rows_patched", static_cast<double>(stats.rows_patched)},
+                   {"cache_peak", static_cast<double>(stats.cache_peak)}});
+    }
   }
   print_table(rows);
   note(std::string("loss parity (cache correctness): |seq - pipe| = ") +
        fmt(std::abs(seq_loss - pipe_loss), 6));
+  if (report != nullptr) {
+    report->add("parity", {{"abs_loss_gap",
+                            std::abs(static_cast<double>(seq_loss) -
+                                     static_cast<double>(pipe_loss))}});
+  }
 }
 
 void modeled_timing() {
@@ -96,8 +110,24 @@ void modeled_timing() {
 
 }  // namespace
 
-int main() {
-  real_pipeline_demo();
+int main(int argc, char** argv) {
+  const bool quick = has_flag(argc, argv, "--quick");
+  if (quick) {
+    // Perf-harness mode: a shorter traced run, a BENCH json with the
+    // registry metrics block, and the merged chrome://tracing export
+    // covering pipeline + Eff-TT + tensor spans.
+    JsonBenchReport report("fig16_pipeline");
+    real_pipeline_demo(40, &report);
+    report.write();
+    const std::string trace_path = "TRACE_fig16_pipeline.json";
+    if (obs::write_chrome_trace(trace_path)) {
+      note("wrote " + trace_path + " (open in chrome://tracing)");
+    } else {
+      note("could not write " + trace_path);
+    }
+    return 0;
+  }
+  real_pipeline_demo(120, nullptr);
   modeled_timing();
   return 0;
 }

@@ -168,19 +168,19 @@ int main(int argc, char** argv) {
       }
     }
     const RunResult r = run_stream(session, num_requests, num_workers);
-    table.push_back({cfg.name, fmt(r.total.p50_us), fmt(r.total.p95_us),
-                     fmt(r.total.p99_us), fmt(r.queue.p50_us),
-                     fmt(r.compute.p50_us), fmt(r.throughput_rps, 0),
+    table.push_back({cfg.name, fmt(r.total.p50), fmt(r.total.p95),
+                     fmt(r.total.p99), fmt(r.queue.p50),
+                     fmt(r.compute.p50), fmt(r.throughput_rps, 0),
                      fmt(r.hit_rate, 3), std::to_string(r.shed),
                      std::to_string(r.largest_batch)});
     report.add(cfg.name,
                {{"requests", static_cast<double>(num_requests)},
                 {"workers", static_cast<double>(num_workers)},
-                {"p50_us", r.total.p50_us},
-                {"p95_us", r.total.p95_us},
-                {"p99_us", r.total.p99_us},
-                {"queue_p50_us", r.queue.p50_us},
-                {"compute_p50_us", r.compute.p50_us},
+                {"p50_us", r.total.p50},
+                {"p95_us", r.total.p95},
+                {"p99_us", r.total.p99},
+                {"queue_p50_us", r.queue.p50},
+                {"compute_p50_us", r.compute.p50},
                 {"throughput_rps", r.throughput_rps},
                 {"cache_hit_rate", r.hit_rate},
                 {"shed", static_cast<double>(r.shed)},

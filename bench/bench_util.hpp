@@ -15,6 +15,8 @@
 #include <omp.h>
 #endif
 
+#include "obs/metrics.hpp"
+
 namespace elrec::benchutil {
 
 inline void header(const std::string& title) {
@@ -118,7 +120,12 @@ inline const char* build_flags() {
 /// Collects named metric rows and writes them as BENCH_<bench>.json:
 ///   {"bench": "...", "schema": "elrec-bench-v1",
 ///    "meta": {"threads": "8", "build": "..."},
-///    "results": [{"name": "...", "metrics": {"GFLOP/s": 12.3, ...}}, ...]}
+///    "results": [{"name": "...", "metrics": {"GFLOP/s": 12.3, ...}}, ...],
+///    "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}}
+/// The trailing "metrics" block is a MetricsRegistry snapshot taken at
+/// write() time — the process-wide observability counters (batched-GEMM
+/// launches, reuse hits, cache traffic, latency histograms) accumulated over
+/// the whole run.
 /// Metric keys are free-form; the conventions used across the repo are
 /// "GFLOP/s" (kernel throughput), "ns/lookup" (per-index forward latency)
 /// and "batches/s" (training-step throughput). Every report carries the
@@ -175,7 +182,8 @@ class JsonBenchReport {
       }
       out << "}}" << (r + 1 < rows_.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ],\n  \"metrics\": "
+        << obs::MetricsRegistry::global().snapshot().to_json() << "\n}\n";
     note("wrote " + path());
     return out.good();
   }

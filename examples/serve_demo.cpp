@@ -133,10 +133,10 @@ int main() {
   const auto stats = sched.stats();
   std::printf("\nserved %zu requests in %.2fs (%.0f req/s)\n", stats.served,
               wall_s, static_cast<double>(kRequests) / wall_s);
-  std::printf("latency  p50 %.1f us   p95 %.1f us   p99 %.1f us\n",
-              total.p50_us, total.p95_us, total.p99_us);
-  std::printf("  queue  p50 %.1f us   compute p50 %.1f us\n", queue.p50_us,
-              compute.p50_us);
+  std::printf("latency  p50 %.1f us   p95 %.1f us   p99 %.1f us\n", total.p50,
+              total.p95, total.p99);
+  std::printf("  queue  p50 %.1f us   compute p50 %.1f us\n", queue.p50,
+              compute.p50);
   std::printf("micro-batches: %zu (largest %lld)   shed: %zu\n",
               stats.batches, static_cast<long long>(stats.largest_batch),
               stats.shed);

@@ -4,6 +4,9 @@
 # second pass under -DELREC_SANITIZE=thread|address builds).
 #
 #   scripts/check.sh                 # default build dir ./build
+#   scripts/check.sh --obs           # observability smoke: traced mini-train,
+#                                    # schema-check the chrome trace, require
+#                                    # the metrics block in the BENCH json
 #   BUILD_DIR=build-tsan scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -11,8 +14,27 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc)}
 
+MODE=${1:-}
+
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$JOBS"
+
+if [[ "$MODE" == "--obs" ]]; then
+  echo "== observability smoke: traced mini-train =="
+  # bench_fig16_pipeline --quick drives the real ElRecTrainer with tracing
+  # on and writes both artifacts next to the binary.
+  (cd "$BUILD_DIR/bench" && ./bench_fig16_pipeline --quick)
+
+  echo "== trace schema + span coverage (pipeline / Eff-TT / tensor) =="
+  "$BUILD_DIR/tools/trace_check" "$BUILD_DIR/bench/TRACE_fig16_pipeline.json" \
+    elrec. efftt. tensor.
+
+  echo "== BENCH json carries the metrics registry snapshot =="
+  grep -q '"metrics"' "$BUILD_DIR/bench/BENCH_fig16_pipeline.json" \
+    || { echo "BENCH_fig16_pipeline.json missing \"metrics\" block" >&2; exit 1; }
+  echo "observability smoke OK"
+  exit 0
+fi
 
 echo "== tier-1: full test suite =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "tensor/batched_gemm.hpp"
 #include "tensor/gemm.hpp"
 
@@ -21,6 +22,21 @@ index_t prefix_count(const TTShape& shape) {
 
 index_t prefix_floats(const TTShape& shape) {
   return shape.col_factor(0) * shape.col_factor(1) * shape.rank(2);
+}
+
+// Reuse-buffer effectiveness across every EffTTTable in the process: a
+// "hit" is a row whose C1*C2 prefix product was already claimed by an
+// earlier row of the same launch, a "miss" is a slot actually computed.
+struct ReuseCounters {
+  obs::Counter& hits;
+  obs::Counter& misses;
+};
+
+ReuseCounters& reuse_counters() {
+  auto& reg = obs::MetricsRegistry::global();
+  static ReuseCounters c{reg.counter("efftt.reuse.hits"),
+                         reg.counter("efftt.reuse.misses")};
+  return c;
 }
 
 }  // namespace
@@ -82,8 +98,12 @@ index_t EffTTTable::suffix_length() const {
 void EffTTTable::fill_prefix_products(std::span<const index_t> rows,
                                       ReuseBuffer& reuse,
                                       PointerPrepResult& prep) const {
+  TRACE_SPAN("efftt.prefix");
   const TTShape& shape = cores_.shape();
   prepare_prefix_pointers(cores_, rows, reuse, prep);
+  reuse_counters().misses.add(static_cast<std::size_t>(prep.unique_prefixes));
+  reuse_counters().hits.add(rows.size() -
+                            static_cast<std::size_t>(prep.unique_prefixes));
   // One batched-GEMM launch fills every claimed slot:
   //   slot = C1[i1] (n1 x R1) * C2[i2] (R1 x n2 R2).
   BatchedGemmShape g;
@@ -189,6 +209,7 @@ void EffTTTable::compute_rows_from_prefixes(std::span<const index_t> rows,
 }
 
 void EffTTTable::forward(const IndexBatch& batch, Matrix& out) {
+  TRACE_SPAN("efftt.forward");
   batch.validate(num_rows_);
   stats_ = Stats{};
   stats_.total_indices = batch.num_indices();
@@ -206,16 +227,25 @@ void EffTTTable::forward(const IndexBatch& batch, Matrix& out) {
 
   // Two-level reuse: (1) dedup identical rows across the batch,
   // (2) share C1*C2 prefix products among the unique rows.
-  cached_unique_ = build_unique_index_map(cached_rows_);
+  {
+    TRACE_SPAN("efftt.dedup");
+    cached_unique_ = build_unique_index_map(cached_rows_);
+  }
   stats_.unique_rows = static_cast<index_t>(cached_unique_.unique.size());
 
   compute_prefix_products(cached_unique_.unique);
   stats_.unique_prefixes = prep_.unique_prefixes;
   unique_slots_ = prep_.slot_of;
 
-  compute_rows_from_prefixes(cached_unique_.unique, unique_rows_buf_);
+  {
+    TRACE_SPAN("efftt.expand");
+    compute_rows_from_prefixes(cached_unique_.unique, unique_rows_buf_);
+  }
 
-  pool_unique_rows(batch, cached_unique_, unique_rows_buf_, out);
+  {
+    TRACE_SPAN("efftt.pool");
+    pool_unique_rows(batch, cached_unique_, unique_rows_buf_, out);
+  }
   forward_cache_valid_ = true;
 }
 
@@ -247,6 +277,7 @@ std::unique_ptr<ILookupContext> EffTTTable::make_lookup_context() const {
 
 void EffTTTable::lookup(const IndexBatch& batch, Matrix& out,
                         ILookupContext* ctx) const {
+  TRACE_SPAN("efftt.lookup");
   auto* ws = dynamic_cast<EffTTLookupContext*>(ctx);
   ELREC_CHECK(ws != nullptr,
               "EffTTTable::lookup needs the context returned by "
@@ -473,6 +504,7 @@ void EffTTTable::merge_grad_shards() {
 
 void EffTTTable::backward_and_update(const IndexBatch& batch,
                                      const Matrix& grad_out, float lr) {
+  TRACE_SPAN("efftt.backward");
   ELREC_CHECK(grad_out.rows() == batch.batch_size() && grad_out.cols() == dim(),
               "grad_out shape mismatch");
   const TTShape& shape = cores_.shape();
@@ -493,7 +525,10 @@ void EffTTTable::backward_and_update(const IndexBatch& batch,
       unique_slots_ = prep_.slot_of;
     }
     const index_t u = static_cast<index_t>(cached_unique_.unique.size());
-    aggregate_unique_gradients(batch, grad_out);
+    {
+      TRACE_SPAN("efftt.grad_aggregate");
+      aggregate_unique_gradients(batch, grad_out);
+    }
 
     // Step 2: chain rule once per unique row, prefix products shared.
     // Unique rows are cut into kGradShards contiguous blocks; each shard
@@ -505,24 +540,30 @@ void EffTTTable::backward_and_update(const IndexBatch& batch,
       shard_scratch_.resize(kGradShards);
       for (GradAccum& shard : grad_shards_) init_grad_accum(shard);
     }
+    {
+      TRACE_SPAN("efftt.grad_chain");
 #pragma omp parallel for schedule(dynamic, 1) if (u >= 2 * kGradShards)
-    for (int s = 0; s < kGradShards; ++s) {
-      GradAccum& acc = grad_shards_[static_cast<std::size_t>(s)];
-      BackwardScratch& scratch = shard_scratch_[static_cast<std::size_t>(s)];
-      ++acc.epoch;
-      for (auto& t : acc.touched) t.clear();
-      acc.gemms = 0;
-      const index_t lo = u * s / kGradShards;
-      const index_t hi = u * (s + 1) / kGradShards;
-      for (index_t i = lo; i < hi; ++i) {
-        accumulate_row_gradient(
-            acc, scratch, cached_unique_.unique[static_cast<std::size_t>(i)],
-            reuse_buffer_.slot_data(
-                unique_slots_[static_cast<std::size_t>(i)]),
-            grad_agg_buf_.row(i));
+      for (int s = 0; s < kGradShards; ++s) {
+        GradAccum& acc = grad_shards_[static_cast<std::size_t>(s)];
+        BackwardScratch& scratch = shard_scratch_[static_cast<std::size_t>(s)];
+        ++acc.epoch;
+        for (auto& t : acc.touched) t.clear();
+        acc.gemms = 0;
+        const index_t lo = u * s / kGradShards;
+        const index_t hi = u * (s + 1) / kGradShards;
+        for (index_t i = lo; i < hi; ++i) {
+          accumulate_row_gradient(
+              acc, scratch, cached_unique_.unique[static_cast<std::size_t>(i)],
+              reuse_buffer_.slot_data(
+                  unique_slots_[static_cast<std::size_t>(i)]),
+              grad_agg_buf_.row(i));
+        }
       }
     }
-    merge_grad_shards();
+    {
+      TRACE_SPAN("efftt.grad_merge");
+      merge_grad_shards();
+    }
   } else {
     // Ablation: per-occurrence gradients (the TT-Rec cost the paper removes).
     const index_t n12 = shape.col_factor(0) * shape.col_factor(1);
@@ -549,7 +590,10 @@ void EffTTTable::backward_and_update(const IndexBatch& batch,
   }
 
   stats_.backward_gemms += grad_master_.gemms;
-  apply_update(lr);
+  {
+    TRACE_SPAN("efftt.update");
+    apply_update(lr);
+  }
   forward_cache_valid_ = false;  // parameters changed; cached P12 is stale
 }
 

@@ -1,6 +1,7 @@
 #include "dlrm/dlrm_model.hpp"
 
 #include "dlrm/loss.hpp"
+#include "obs/trace.hpp"
 #include "tensor/vector_ops.hpp"
 
 namespace elrec {
@@ -127,9 +128,14 @@ void DlrmModel::predict_frozen(const MiniBatch& batch,
 
 float DlrmModel::train_step(const MiniBatch& batch, float lr) {
   Matrix logits;
-  forward(batch, logits);
-  const float loss = bce_with_logits_loss(logits, batch.labels);
+  float loss;
+  {
+    TRACE_SPAN("dlrm.forward");
+    forward(batch, logits);
+    loss = bce_with_logits_loss(logits, batch.labels);
+  }
 
+  TRACE_SPAN("dlrm.backward");
   Matrix grad_logits;
   bce_with_logits_backward(logits, batch.labels, grad_logits);
 

@@ -1,0 +1,212 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace elrec::obs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::string parse_document(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return error_;
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after value");
+    return error_;
+  }
+
+ private:
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) return !fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return parse_string(out.str);
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        return parse_literal("true");
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        return parse_literal("false");
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        return parse_literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return !fail("expected string key in object");
+      }
+      if (!parse_string(key)) return false;
+      for (const auto& [k, v] : out.object) {
+        if (k == key) return !fail("duplicate key \"" + key + "\"");
+      }
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (peek('}')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek(']')) return true;
+    for (;;) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (peek(']')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return !fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return !fail("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return !fail("bad \\u escape");
+            }
+            ++pos_;
+          }
+          out.push_back('?');  // not decoded; validation only
+          break;
+        }
+        default:
+          return !fail("bad escape character");
+      }
+    }
+    return !fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (peek('-')) {
+    }
+    if (!digits()) return !fail("expected a value");
+    if (peek('.') && !digits()) return !fail("digits required after '.'");
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digits()) return !fail("digits required in exponent");
+    }
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool parse_literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return !fail(std::string("bad literal, expected '") + word + "'");
+      }
+    }
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool peek(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect(char c) {
+    if (!peek(c)) return !fail(std::string("expected '") + c + "'");
+    return true;
+  }
+
+  // Records the first error; returns true so call sites can `return !fail()`.
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string parse_json(const std::string& text, JsonValue& out) {
+  out = JsonValue{};
+  return Parser(text).parse_document(out);
+}
+
+}  // namespace elrec::obs

@@ -1,0 +1,46 @@
+// Minimal JSON reader used to VALIDATE the observability layer's own
+// output (chrome traces, metrics snapshots, BENCH_*.json) in tests and the
+// trace_check tool. Strict on syntax, deliberately small on features: full
+// RFC 8259 value grammar, UTF-8 passed through uninterpreted, \u escapes
+// checked for hex-ness but not decoded. Not a general-purpose parser — the
+// repo has no other JSON input surface.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace elrec::obs {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Insertion-ordered like the document; duplicate keys are a parse error.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses `text` into `out`. Returns "" on success, else a message with the
+/// byte offset of the first error. The whole document must be one value
+/// (trailing non-whitespace is an error).
+std::string parse_json(const std::string& text, JsonValue& out);
+
+}  // namespace elrec::obs

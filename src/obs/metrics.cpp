@@ -1,0 +1,200 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace elrec::obs {
+
+namespace {
+
+// CAS loops because std::atomic<double>::fetch_add / fetch_max portability
+// across the supported toolchains is not worth the dependency; contention on
+// a histogram is per-event, not per-sample-bucket, so the loop converges
+// immediately in practice.
+void atomic_add(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // <= 0 and NaN collapse into the floor bucket
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  int octave = exp - kMinExp;
+  if (octave < 0) octave = 0;
+  if (octave >= kOctaves) octave = kOctaves - 1;
+  int sub = static_cast<int>((m - 0.5) * 2.0 * kSubBuckets);
+  if (sub < 0) sub = 0;
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return octave * kSubBuckets + sub;
+}
+
+double Histogram::bucket_representative(int idx) {
+  const int octave = idx / kSubBuckets;
+  const int sub = idx % kSubBuckets;
+  const double m = 0.5 + (sub + 0.5) / (2.0 * kSubBuckets);
+  return std::ldexp(m, octave + kMinExp);
+}
+
+void Histogram::record(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_max(max_, v);
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  std::uint64_t counts[kOctaves * kSubBuckets];
+  std::uint64_t total = 0;
+  for (int i = 0; i < kOctaves * kSubBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  s.count = total;
+  if (total == 0) return s;
+  s.mean = sum_.load(std::memory_order_relaxed) / static_cast<double>(total);
+  s.max = max_.load(std::memory_order_relaxed);
+
+  // Nearest-rank percentile over the bucketed distribution (same rank rule
+  // the old exact recorder used), reported as the bucket's representative.
+  auto percentile = [&](double q) {
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+    if (rank >= total) rank = total - 1;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kOctaves * kSubBuckets; ++i) {
+      seen += counts[i];
+      if (seen > rank) return std::min(bucket_representative(i), s.max);
+    }
+    return s.max;
+  };
+  s.p50 = percentile(0.50);
+  s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::check_kind(const std::string& name, Kind kind) const {
+  const auto it = kind_of_.find(name);
+  ELREC_CHECK(it == kind_of_.end() || it->second == kind,
+              "metric '" + name + "' already registered as a different kind");
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  check_kind(name, Kind::kCounter);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+    kind_of_.emplace(name, Kind::kCounter);
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  check_kind(name, Kind::kGauge);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+    kind_of_.emplace(name, Kind::kGauge);
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  check_kind(name, Kind::kHistogram);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+    kind_of_.emplace(name, Kind::kHistogram);
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->summary());
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += "\"" + counters[i].first +
+           "\": " + std::to_string(counters[i].second);
+    if (i + 1 < counters.size()) out += ", ";
+  }
+  out += "}, \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out += "\"" + gauges[i].first + "\": " + std::to_string(gauges[i].second);
+    if (i + 1 < gauges.size()) out += ", ";
+  }
+  out += "}, \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSummary& h = histograms[i].second;
+    out += "\"" + histograms[i].first +
+           "\": {\"count\": " + std::to_string(h.count) +
+           ", \"mean\": " + fmt_double(h.mean) +
+           ", \"p50\": " + fmt_double(h.p50) +
+           ", \"p95\": " + fmt_double(h.p95) +
+           ", \"p99\": " + fmt_double(h.p99) +
+           ", \"max\": " + fmt_double(h.max) + "}";
+    if (i + 1 < histograms.size()) out += ", ";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace elrec::obs

@@ -1,0 +1,151 @@
+// Unified metrics substrate (counters / gauges / histograms) shared by
+// training, serving and the benchmarks.
+//
+// Primitives are standalone value types on relaxed atomics — a Counter is a
+// single fetch_add per event, a Histogram is a handful — so they can sit on
+// hot paths (the batched-GEMM launch counters, the serving latency split)
+// without perturbing timing in any measurable way, and without touching the
+// training math at all: recording never reads or writes model state, which
+// is what makes the tracing-on ≡ tracing-off invariance contract hold.
+//
+// The MetricsRegistry names process-wide instances: `registry.counter("x")`
+// returns a stable reference (create-on-first-use, kind-checked), so hot
+// call sites resolve the name once into a function-local static and pay only
+// the atomic afterwards. snapshot() captures a point-in-time copy of every
+// registered metric; MetricsSnapshot::to_json() is what the BENCH_*.json
+// "metrics" block carries.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace elrec::obs {
+
+/// Monotonic event counter. add()/value()/reset() are relaxed atomics:
+/// totals are exact across threads, only inter-thread ordering is
+/// unspecified.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  /// atomic-style spelling kept for call sites migrated from raw atomics.
+  std::uint64_t load() const { return value(); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins signed level (queue depth, cache residency, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Point-in-time digest of one Histogram. Unit-agnostic: a histogram of
+/// microsecond samples yields microsecond percentiles.
+struct HistogramSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Lock-free log-bucketed histogram of non-negative samples.
+///
+/// Buckets are octaves (powers of two) split into kSubBuckets linear
+/// sub-buckets, so percentile estimates carry at most ~1/kSubBuckets
+/// relative error — plenty for latency attribution — while record() stays a
+/// few relaxed atomic ops with no allocation and no lock. count/mean/max
+/// are exact. Replaces the sort-all-samples percentile code that used to
+/// live in serve/latency.hpp.
+class Histogram {
+ public:
+  static constexpr int kOctaves = 64;
+  static constexpr int kSubBuckets = 8;
+  // Octave 0 covers everything below 2^kMinExp (~1e-6); the top octave
+  // everything above 2^(kMinExp + kOctaves - 1) (~9e12).
+  static constexpr int kMinExp = -20;
+
+  void record(double v);
+
+  std::size_t count() const { return count_.load(std::memory_order_relaxed); }
+  HistogramSummary summary() const;
+  void reset();
+
+ private:
+  static int bucket_index(double v);
+  static double bucket_representative(int idx);
+
+  std::atomic<std::uint64_t> buckets_[kOctaves * kSubBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Point-in-time copy of every registered metric (names sorted). Later
+/// updates to the live metrics do not alter a snapshot already taken.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+
+  /// One JSON object:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {"name": {"count": n, "mean": .., "p50": .., ...}}}
+  std::string to_json() const;
+};
+
+/// Named metric directory. Thread-safe; returned references stay valid for
+/// the registry's lifetime (metrics are never deleted), so call sites cache
+/// them: `static obs::Counter& c = registry.counter("subsys.event");`.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Create-on-first-use by name. Throws Error if `name` is already
+  /// registered as a different kind.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric (names stay registered). For tests and
+  /// benchmark sections that want per-phase deltas.
+  void reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  void check_kind(const std::string& name, Kind kind) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Kind> kind_of_;
+  // unique_ptr nodes keep every returned reference stable across rehashes.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace elrec::obs

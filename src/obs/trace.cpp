@@ -1,0 +1,104 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace elrec::obs {
+
+namespace {
+
+bool env_trace_enabled() {
+  const char* v = std::getenv("ELREC_TRACING");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "OFF") == 0 || std::strcmp(v, "false") == 0);
+}
+
+// Owns every thread's ring so retained events survive thread exit (the
+// exporter runs after workers are joined). Buffers are handed out once per
+// thread and cached in a thread_local raw pointer.
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadTraceBuffer>> buffers;
+  std::size_t capacity = 8192;
+
+  static TraceRegistry& get() {
+    static TraceRegistry* registry = new TraceRegistry();  // never destroyed:
+    // worker threads may outlive static destruction order otherwise.
+    return *registry;
+  }
+
+  ThreadTraceBuffer* register_thread() {
+    std::lock_guard lock(mu);
+    buffers.push_back(std::make_unique<ThreadTraceBuffer>(
+        static_cast<std::uint32_t>(buffers.size()), capacity));
+    return buffers.back().get();
+  }
+};
+
+thread_local ThreadTraceBuffer* t_buffer = nullptr;
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{env_trace_enabled()};
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns) {
+  ThreadTraceBuffer* buf = t_buffer;
+  if (buf == nullptr) {
+    buf = TraceRegistry::get().register_thread();
+    t_buffer = buf;
+  }
+  buf->push(name, start_ns, dur_ns);
+}
+
+std::vector<const ThreadTraceBuffer*> all_buffers() {
+  TraceRegistry& reg = TraceRegistry::get();
+  std::lock_guard lock(reg.mu);
+  std::vector<const ThreadTraceBuffer*> out;
+  out.reserve(reg.buffers.size());
+  for (const auto& b : reg.buffers) out.push_back(b.get());
+  return out;
+}
+
+}  // namespace detail
+
+void set_trace_enabled(bool enabled) {
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void set_trace_capacity(std::size_t events) {
+  TraceRegistry& reg = TraceRegistry::get();
+  std::lock_guard lock(reg.mu);
+  reg.capacity = events > 0 ? events : 1;
+}
+
+void clear_trace() {
+  TraceRegistry& reg = TraceRegistry::get();
+  std::lock_guard lock(reg.mu);
+  for (auto& b : reg.buffers) b->clear();
+}
+
+TraceStats trace_stats() {
+  TraceStats s;
+  for (const ThreadTraceBuffer* b : detail::all_buffers()) {
+    ++s.threads;
+    s.events_retained += b->size();
+    s.events_dropped += b->dropped();
+  }
+  return s;
+}
+
+}  // namespace elrec::obs

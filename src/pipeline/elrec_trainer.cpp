@@ -9,6 +9,7 @@
 #include "common/serialize.hpp"
 #include "common/stopwatch.hpp"
 #include "embed/embedding_bag.hpp"
+#include "obs/trace.hpp"
 
 namespace elrec {
 
@@ -223,6 +224,7 @@ ElRecRunStats ElRecTrainer::train(SyntheticDataset& data, index_t num_batches,
 
       auto apply = [&](GradUnit& push) {
         current_batch = push.batch_id;
+        TRACE_SPAN("elrec.host_push");
         for (std::size_t h = 0; h < num_host; ++h) {
           with_retry(config_.host_retry, "host-store push", [&] {
             host_stores_[h]->apply_gradients(push.indices[h], push.grads[h],
@@ -240,18 +242,21 @@ ElRecRunStats ElRecTrainer::train(SyntheticDataset& data, index_t num_batches,
           current_batch = prefetched;
           Prefetched pf;
           pf.batch_id = prefetched;
-          pf.batch = data.next_batch(batch_size);
-          pf.host_unique.resize(num_host);
-          pf.host_rows.resize(num_host);
-          for (std::size_t t = 0; t < host_slot_of_table_.size(); ++t) {
-            const std::size_t h = host_slot_of_table_[t];
-            if (h == static_cast<std::size_t>(-1)) continue;
-            const auto umap =
-                build_unique_index_map(pf.batch.sparse[t].indices);
-            pf.host_unique[h] = umap.unique;
-            with_retry(config_.host_retry, "host-store pull", [&] {
-              host_stores_[h]->pull(pf.host_unique[h], pf.host_rows[h]);
-            });
+          {
+            TRACE_SPAN("elrec.host_pull");
+            pf.batch = data.next_batch(batch_size);
+            pf.host_unique.resize(num_host);
+            pf.host_rows.resize(num_host);
+            for (std::size_t t = 0; t < host_slot_of_table_.size(); ++t) {
+              const std::size_t h = host_slot_of_table_[t];
+              if (h == static_cast<std::size_t>(-1)) continue;
+              const auto umap =
+                  build_unique_index_map(pf.batch.sparse[t].indices);
+              pf.host_unique[h] = umap.unique;
+              with_retry(config_.host_retry, "host-store pull", [&] {
+                host_stores_[h]->pull(pf.host_unique[h], pf.host_rows[h]);
+              });
+            }
           }
           ++prefetched;
           // Bounded push with gradient drains in between: a worker stalled
@@ -334,47 +339,59 @@ ElRecRunStats ElRecTrainer::train(SyntheticDataset& data, index_t num_batches,
 
   for (index_t b = start_batch; b < num_batches; ++b) {
     Prefetched pf;
-    if (config_.queue_timeout.count() > 0) {
-      const QueueOpStatus st =
-          prefetch_queue.try_pop_for(pf, config_.queue_timeout);
-      if (st == QueueOpStatus::kTimeout) {
-        raise("worker", b,
-              std::make_exception_ptr(Error(
-                  "timed out waiting for a prefetched batch — server stalled?")));
+    TRACE_SPAN("elrec.batch");
+    {
+      TRACE_SPAN("elrec.prefetch_wait");
+      if (config_.queue_timeout.count() > 0) {
+        const QueueOpStatus st =
+            prefetch_queue.try_pop_for(pf, config_.queue_timeout);
+        if (st == QueueOpStatus::kTimeout) {
+          raise("worker", b,
+                std::make_exception_ptr(Error(
+                    "timed out waiting for a prefetched batch — server "
+                    "stalled?")));
+        }
+        if (st == QueueOpStatus::kClosed) {
+          raise("worker", b,
+                std::make_exception_ptr(Error("prefetch queue closed early")));
+        }
+      } else {
+        auto popped = prefetch_queue.pop();
+        if (!popped) {
+          raise("worker", b,
+                std::make_exception_ptr(Error("prefetch queue closed early")));
+        }
+        pf = std::move(*popped);
       }
-      if (st == QueueOpStatus::kClosed) {
-        raise("worker", b,
-              std::make_exception_ptr(Error("prefetch queue closed early")));
-      }
-    } else {
-      auto popped = prefetch_queue.pop();
-      if (!popped) {
-        raise("worker", b,
-              std::make_exception_ptr(Error("prefetch queue closed early")));
-      }
-      pf = std::move(*popped);
     }
 
     GradUnit push;
     try {
       // Step 1: synchronize prefetched host rows against the caches.
-      for (std::size_t h = 0; h < num_host; ++h) {
-        if (config_.use_embedding_cache) {
-          stats.rows_patched +=
-              caches[h].sync(pf.host_unique[h], pf.host_rows[h]);
+      {
+        TRACE_SPAN("elrec.cache_sync");
+        for (std::size_t h = 0; h < num_host; ++h) {
+          if (config_.use_embedding_cache) {
+            stats.rows_patched +=
+                caches[h].sync(pf.host_unique[h], pf.host_rows[h]);
+          }
+          host_clients_[h]->install(pf.host_unique[h],
+                                    std::move(pf.host_rows[h]));
         }
-        host_clients_[h]->install(pf.host_unique[h],
-                                  std::move(pf.host_rows[h]));
       }
 
       // Device-side forward/backward; device tables (dense + Eff-TT) update
       // in place, host clients capture gradients.
-      ELREC_FAULT_POINT("elrec.compute");
-      const float loss = model_->train_step(pf.batch, config_.lr);
-      stats.loss_curve.push_back(loss);
-      stats.final_loss = loss;
+      {
+        TRACE_SPAN("elrec.compute");
+        ELREC_FAULT_POINT("elrec.compute");
+        const float loss = model_->train_step(pf.batch, config_.lr);
+        stats.loss_curve.push_back(loss);
+        stats.final_loss = loss;
+      }
 
       // Step 3: push host-table gradients; refresh the caches.
+      TRACE_SPAN("elrec.cache_update");
       push.batch_id = pf.batch_id;
       push.indices.resize(num_host);
       push.grads.resize(num_host);
@@ -392,27 +409,31 @@ ElRecRunStats ElRecTrainer::train(SyntheticDataset& data, index_t num_batches,
       raise("worker", pf.batch_id, std::current_exception());
     }
 
-    if (config_.queue_timeout.count() > 0) {
-      const QueueOpStatus st =
-          gradient_queue.try_push_for(push, config_.queue_timeout);
-      if (st == QueueOpStatus::kTimeout) {
-        raise("worker", pf.batch_id,
-              std::make_exception_ptr(
-                  Error("timed out pushing gradients — server stalled?")));
-      }
-      if (st == QueueOpStatus::kClosed) {
+    {
+      TRACE_SPAN("elrec.grad_push");
+      if (config_.queue_timeout.count() > 0) {
+        const QueueOpStatus st =
+            gradient_queue.try_push_for(push, config_.queue_timeout);
+        if (st == QueueOpStatus::kTimeout) {
+          raise("worker", pf.batch_id,
+                std::make_exception_ptr(
+                    Error("timed out pushing gradients — server stalled?")));
+        }
+        if (st == QueueOpStatus::kClosed) {
+          raise("worker", pf.batch_id,
+                std::make_exception_ptr(Error("gradient queue closed early")));
+        }
+      } else if (!gradient_queue.push(std::move(push))) {
         raise("worker", pf.batch_id,
               std::make_exception_ptr(Error("gradient queue closed early")));
       }
-    } else if (!gradient_queue.push(std::move(push))) {
-      raise("worker", pf.batch_id,
-            std::make_exception_ptr(Error("gradient queue closed early")));
     }
     ++stats.batches;
 
     if (config_.checkpoint_every_n > 0 &&
         (b + 1) % config_.checkpoint_every_n == 0) {
       try {
+        TRACE_SPAN("elrec.checkpoint");
         wait_until_applied(b);
         save_checkpoint(b + 1);
         ++stats.checkpoints_written;

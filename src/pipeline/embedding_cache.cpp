@@ -1,8 +1,30 @@
 #include "pipeline/embedding_cache.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace elrec {
+
+namespace {
+
+// Process-wide RAW-repair accounting: rows patched from the cache during
+// sync, rows inserted after a batch's update, entries retired by life-cycle
+// expiry. One registry entry shared by every EmbeddingCache instance.
+struct CacheCounters {
+  obs::Counter& patched;
+  obs::Counter& inserted;
+  obs::Counter& evicted;
+};
+
+CacheCounters& cache_counters() {
+  auto& reg = obs::MetricsRegistry::global();
+  static CacheCounters c{reg.counter("pipeline.cache.patched"),
+                         reg.counter("pipeline.cache.inserted"),
+                         reg.counter("pipeline.cache.evicted")};
+  return c;
+}
+
+}  // namespace
 
 EmbeddingCache::EmbeddingCache(index_t dim, index_t lc_init)
     : dim_(dim), lc_init_(lc_init) {
@@ -25,6 +47,7 @@ index_t EmbeddingCache::sync(const std::vector<index_t>& indices,
     }
     ++patched;
   }
+  cache_counters().patched.add(static_cast<std::uint64_t>(patched));
   return patched;
 }
 
@@ -41,6 +64,7 @@ void EmbeddingCache::insert(const std::vector<index_t>& indices,
     e.last_write_batch = batch_id;
   }
   peak_size_ = std::max(peak_size_, entries_.size());
+  cache_counters().inserted.add(indices.size());
 }
 
 void EmbeddingCache::retire_batch(index_t applied_batch_id) {
@@ -53,6 +77,7 @@ void EmbeddingCache::retire_batch(index_t applied_batch_id) {
     if (e.last_write_batch <= applied_batch_id) e.lc -= 1;
     if (e.lc <= 0) {
       it = entries_.erase(it);
+      cache_counters().evicted.inc();
     } else {
       ++it;
     }

@@ -6,6 +6,7 @@
 
 #include "common/fault_injector.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/pipeline_checkpoint.hpp"
 
 namespace elrec {
@@ -76,9 +77,12 @@ PipelineStats PipelineTrainer::run(
       auto apply = [&](GradientPush& push) {
         stage = "server";
         current_batch = push.batch_id;
-        with_retry(config_.host_retry, "host-store push", [&] {
-          store_.apply_gradients(push.indices, push.grads, config_.lr);
-        });
+        {
+          TRACE_SPAN("pipeline.host_push");
+          with_retry(config_.host_retry, "host-store push", [&] {
+            store_.apply_gradients(push.indices, push.grads, config_.lr);
+          });
+        }
         applied_batch_id.store(push.batch_id, std::memory_order_release);
         ++grads_applied;
         // Quiescent point: every gradient <= batch_id applied, none beyond
@@ -88,6 +92,7 @@ PipelineStats PipelineTrainer::run(
         if (config_.checkpoint_every_n > 0 &&
             (push.batch_id + 1) % config_.checkpoint_every_n == 0) {
           stage = "checkpoint";
+          TRACE_SPAN("pipeline.checkpoint");
           save_pipeline_checkpoint(store_, push.batch_id + 1,
                                    config_.checkpoint_path);
           checkpoints_written.fetch_add(1, std::memory_order_relaxed);
@@ -106,8 +111,11 @@ PipelineStats PipelineTrainer::run(
           PrefetchedBatch pb;
           pb.batch_id = next_prefetch;
           pb.indices = batches[static_cast<std::size_t>(next_prefetch)];
-          with_retry(config_.host_retry, "host-store pull",
-                     [&] { store_.pull(pb.indices, pb.rows); });
+          {
+            TRACE_SPAN("pipeline.host_pull");
+            with_retry(config_.host_retry, "host-store pull",
+                       [&] { store_.pull(pb.indices, pb.rows); });
+          }
           ++next_prefetch;
           if (!prefetch_queue.push(std::move(pb))) return;
         } else if (grads_applied < total) {
@@ -168,36 +176,46 @@ PipelineStats PipelineTrainer::run(
   Matrix updated;
   for (index_t b = start_batch; b < total; ++b) {
     PrefetchedBatch pb;
-    if (config_.queue_timeout.count() > 0) {
-      const QueueOpStatus st = prefetch_queue.try_pop_for(pb, config_.queue_timeout);
-      if (st == QueueOpStatus::kTimeout) {
-        raise("worker", b,
-              std::make_exception_ptr(Error(
-                  "timed out waiting for a prefetched batch — server stalled?")));
+    TRACE_SPAN("pipeline.batch");
+    {
+      TRACE_SPAN("pipeline.prefetch_wait");
+      if (config_.queue_timeout.count() > 0) {
+        const QueueOpStatus st =
+            prefetch_queue.try_pop_for(pb, config_.queue_timeout);
+        if (st == QueueOpStatus::kTimeout) {
+          raise("worker", b,
+                std::make_exception_ptr(Error(
+                    "timed out waiting for a prefetched batch — server "
+                    "stalled?")));
+        }
+        if (st == QueueOpStatus::kClosed) {
+          raise("worker", b,
+                std::make_exception_ptr(Error("prefetch queue closed early")));
+        }
+      } else {
+        auto popped = prefetch_queue.pop();
+        if (!popped) {
+          raise("worker", b,
+                std::make_exception_ptr(Error("prefetch queue closed early")));
+        }
+        pb = std::move(*popped);
       }
-      if (st == QueueOpStatus::kClosed) {
-        raise("worker", b,
-              std::make_exception_ptr(Error("prefetch queue closed early")));
-      }
-    } else {
-      auto popped = prefetch_queue.pop();
-      if (!popped) {
-        raise("worker", b,
-              std::make_exception_ptr(Error("prefetch queue closed early")));
-      }
-      pb = std::move(*popped);
     }
     worker_watch.reset();
 
     try {
       // Step 1 (Fig. 9): synchronize prefetched rows with the cache.
       if (config_.use_embedding_cache) {
+        TRACE_SPAN("pipeline.cache_sync");
         stats.rows_patched += cache.sync(pb.indices, pb.rows);
       }
 
       // Compute the batch's gradients on the fresh rows.
-      ELREC_FAULT_POINT("pipeline.compute");
-      compute(pb.batch_id, pb.indices, pb.rows, grads);
+      {
+        TRACE_SPAN("pipeline.compute");
+        ELREC_FAULT_POINT("pipeline.compute");
+        compute(pb.batch_id, pb.indices, pb.rows, grads);
+      }
       ELREC_CHECK(grads.rows() == static_cast<index_t>(pb.indices.size()) &&
                       grads.cols() == store_.dim(),
                   "compute step produced wrong gradient shape");
@@ -205,6 +223,7 @@ PipelineStats PipelineTrainer::run(
       // Worker-side view of the updated rows goes into the cache so the next
       // prefetched batch can be patched (Fig. 10b).
       if (config_.use_embedding_cache) {
+        TRACE_SPAN("pipeline.cache_update");
         updated.resize(pb.rows.rows(), pb.rows.cols());
         for (index_t i = 0; i < updated.rows(); ++i) {
           const float* r = pb.rows.row(i);
@@ -227,21 +246,24 @@ PipelineStats PipelineTrainer::run(
     push.indices = std::move(pb.indices);
     push.grads = grads;
     worker_busy += worker_watch.seconds();
-    if (config_.queue_timeout.count() > 0) {
-      const QueueOpStatus st =
-          gradient_queue.try_push_for(push, config_.queue_timeout);
-      if (st == QueueOpStatus::kTimeout) {
-        raise("worker", pb.batch_id,
-              std::make_exception_ptr(Error(
-                  "timed out pushing gradients — server stalled?")));
-      }
-      if (st == QueueOpStatus::kClosed) {
+    {
+      TRACE_SPAN("pipeline.grad_push");
+      if (config_.queue_timeout.count() > 0) {
+        const QueueOpStatus st =
+            gradient_queue.try_push_for(push, config_.queue_timeout);
+        if (st == QueueOpStatus::kTimeout) {
+          raise("worker", pb.batch_id,
+                std::make_exception_ptr(
+                    Error("timed out pushing gradients — server stalled?")));
+        }
+        if (st == QueueOpStatus::kClosed) {
+          raise("worker", pb.batch_id,
+                std::make_exception_ptr(Error("gradient queue closed early")));
+        }
+      } else if (!gradient_queue.push(std::move(push))) {
         raise("worker", pb.batch_id,
               std::make_exception_ptr(Error("gradient queue closed early")));
       }
-    } else if (!gradient_queue.push(std::move(push))) {
-      raise("worker", pb.batch_id,
-            std::make_exception_ptr(Error("gradient queue closed early")));
     }
     ++stats.batches;
   }

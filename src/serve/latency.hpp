@@ -2,82 +2,49 @@
 //
 // Each served request records its queue wait (submit → micro-batch pickup)
 // and compute time (its micro-batch's forward pass) separately, so tail
-// latency can be attributed to scheduling vs. model cost. Percentiles use
-// the nearest-rank method over the full sample set.
+// latency can be attributed to scheduling vs. model cost.
+//
+// The sort-all-samples percentile machinery that used to live here moved to
+// obs::Histogram (log-bucketed, lock-free); this header keeps a thin alias
+// so serving call sites stay stable. Percentiles are now bucket estimates
+// (≲ ~6% relative error) instead of exact nearest-rank — well within what
+// latency attribution needs. count/mean/max remain exact.
+//
+// The recorder owns standalone histograms rather than registry entries so
+// each RequestScheduler instance keeps its own counts; the scheduler mirrors
+// samples into the global registry ("serve.queue_us" / "serve.compute_us")
+// for the BENCH_*.json metrics block.
 #pragma once
 
-#include <algorithm>
 #include <cstddef>
-#include <mutex>
-#include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace elrec {
 
-struct LatencySummary {
-  std::size_t count = 0;
-  double p50_us = 0.0;
-  double p95_us = 0.0;
-  double p99_us = 0.0;
-  double mean_us = 0.0;
-  double max_us = 0.0;
-};
+/// Unit note: serving summaries are in microseconds (count/mean/max/p50/...).
+using LatencySummary = obs::HistogramSummary;
 
 /// Thread-safe recorder; record() is called by every scheduler worker, the
 /// summaries by the driver after (or during) the run.
 class LatencyRecorder {
  public:
   void record(double queue_us, double compute_us) {
-    std::lock_guard lock(mu_);
-    queue_us_.push_back(queue_us);
-    compute_us_.push_back(compute_us);
-    total_us_.push_back(queue_us + compute_us);
+    queue_us_.record(queue_us);
+    compute_us_.record(compute_us);
+    total_us_.record(queue_us + compute_us);
   }
 
-  std::size_t count() const {
-    std::lock_guard lock(mu_);
-    return total_us_.size();
-  }
+  std::size_t count() const { return total_us_.count(); }
 
-  LatencySummary queue_summary() const { return summarize(queue_us_); }
-  LatencySummary compute_summary() const { return summarize(compute_us_); }
-  LatencySummary total_summary() const { return summarize(total_us_); }
-
-  /// Nearest-rank percentile of `q` in [0, 1]; sorts a copy.
-  static double percentile(std::vector<double> samples, double q) {
-    if (samples.empty()) return 0.0;
-    std::sort(samples.begin(), samples.end());
-    const auto n = samples.size();
-    auto rank = static_cast<std::size_t>(q * static_cast<double>(n));
-    if (rank >= n) rank = n - 1;
-    return samples[rank];
-  }
+  LatencySummary queue_summary() const { return queue_us_.summary(); }
+  LatencySummary compute_summary() const { return compute_us_.summary(); }
+  LatencySummary total_summary() const { return total_us_.summary(); }
 
  private:
-  LatencySummary summarize(const std::vector<double>& src) const {
-    std::vector<double> samples;
-    {
-      std::lock_guard lock(mu_);
-      samples = src;
-    }
-    LatencySummary s;
-    s.count = samples.size();
-    if (samples.empty()) return s;
-    double sum = 0.0;
-    for (double v : samples) {
-      sum += v;
-      s.max_us = std::max(s.max_us, v);
-    }
-    s.mean_us = sum / static_cast<double>(samples.size());
-    s.p50_us = percentile(samples, 0.50);
-    s.p95_us = percentile(samples, 0.95);
-    s.p99_us = percentile(samples, 0.99);
-    return s;
-  }
-
-  mutable std::mutex mu_;
-  std::vector<double> queue_us_;
-  std::vector<double> compute_us_;
-  std::vector<double> total_us_;
+  obs::Histogram queue_us_;
+  obs::Histogram compute_us_;
+  obs::Histogram total_us_;
 };
 
 }  // namespace elrec

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "tensor/batched_gemm.hpp"
 
 namespace elrec {
@@ -94,23 +95,26 @@ void RequestScheduler::worker_loop() {
     batch.clear();
     batch.push_back(std::move(*first));
 
-    // Coalesce: wait out the window for followers, up to the batch cap.
-    const auto deadline =
-        Clock::now() + std::chrono::microseconds(config_.max_wait_us);
-    while (static_cast<index_t>(batch.size()) < config_.max_batch) {
-      const auto now = Clock::now();
-      if (now >= deadline) {
-        auto extra = queue_.try_pop();
-        if (!extra) break;
-        batch.push_back(std::move(*extra));
-        continue;
+    {
+      TRACE_SPAN("serve.coalesce");
+      // Coalesce: wait out the window for followers, up to the batch cap.
+      const auto deadline =
+          Clock::now() + std::chrono::microseconds(config_.max_wait_us);
+      while (static_cast<index_t>(batch.size()) < config_.max_batch) {
+        const auto now = Clock::now();
+        if (now >= deadline) {
+          auto extra = queue_.try_pop();
+          if (!extra) break;
+          batch.push_back(std::move(*extra));
+          continue;
+        }
+        Pending next;
+        const auto status = queue_.try_pop_for(
+            next, std::chrono::duration<double, std::micro>(
+                      micros_between(now, deadline)));
+        if (status != QueueOpStatus::kOk) break;  // window over or closing
+        batch.push_back(std::move(next));
       }
-      Pending next;
-      const auto status = queue_.try_pop_for(
-          next, std::chrono::duration<double, std::micro>(
-                    micros_between(now, deadline)));
-      if (status != QueueOpStatus::kOk) break;  // window over or closing
-      batch.push_back(std::move(next));
     }
     serve_batch(batch, *state, probs, mb);
   }
@@ -119,6 +123,13 @@ void RequestScheduler::worker_loop() {
 void RequestScheduler::serve_batch(std::vector<Pending>& batch,
                                    InferenceSession::WorkerState& state,
                                    std::vector<float>& probs, MiniBatch& mb) {
+  TRACE_SPAN("serve.compute");
+  // Per-scheduler latency_ keeps exact per-instance counts; these registry
+  // histograms aggregate across every scheduler for the metrics snapshot.
+  static obs::Histogram& g_queue_us =
+      obs::MetricsRegistry::global().histogram("serve.queue_us");
+  static obs::Histogram& g_compute_us =
+      obs::MetricsRegistry::global().histogram("serve.compute_us");
   const auto compute_start = Clock::now();
   const auto b = static_cast<index_t>(batch.size());
   const index_t num_dense = session_.num_dense();
@@ -156,6 +167,8 @@ void RequestScheduler::serve_batch(std::vector<Pending>& batch,
       r.micro_batch = b;
       r.gemm_products = products;
       latency_.record(r.queue_us, r.compute_us);
+      g_queue_us.record(r.queue_us);
+      g_compute_us.record(r.compute_us);
       p.promise.set_value(r);
     }
     served_.fetch_add(static_cast<std::size_t>(b),

@@ -4,8 +4,34 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace elrec {
+
+namespace {
+
+// Process-wide mirrors of the per-instance atomics, so serving cache
+// behaviour shows up in MetricsSnapshot / BENCH metrics blocks even when the
+// caller never reads stats_snapshot().
+struct CacheCounters {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& admitted;
+  obs::Counter& evicted;
+  obs::Counter& rejected;
+};
+
+CacheCounters& cache_counters() {
+  auto& reg = obs::MetricsRegistry::global();
+  static CacheCounters c{reg.counter("serve.cache.hits"),
+                         reg.counter("serve.cache.misses"),
+                         reg.counter("serve.cache.admitted"),
+                         reg.counter("serve.cache.evicted"),
+                         reg.counter("serve.cache.rejected")};
+  return c;
+}
+
+}  // namespace
 
 ServingCache::ServingCache(index_t num_rows, index_t dim,
                            ServingCacheConfig config)
@@ -33,6 +59,7 @@ index_t ServingCache::probe(const std::vector<index_t>& rows, Matrix& dst,
   hit.assign(rows.size(), 0);
   if (config_.capacity == 0) {
     misses_.fetch_add(rows.size(), std::memory_order_relaxed);
+    cache_counters().misses.add(rows.size());
     for (index_t r : rows) {
       freq_[static_cast<std::size_t>(r)].fetch_add(1,
                                                    std::memory_order_relaxed);
@@ -55,6 +82,8 @@ index_t ServingCache::probe(const std::vector<index_t>& rows, Matrix& dst,
   hits_.fetch_add(static_cast<std::size_t>(found), std::memory_order_relaxed);
   misses_.fetch_add(rows.size() - static_cast<std::size_t>(found),
                     std::memory_order_relaxed);
+  cache_counters().hits.add(static_cast<std::size_t>(found));
+  cache_counters().misses.add(rows.size() - static_cast<std::size_t>(found));
   return found;
 }
 
@@ -81,6 +110,7 @@ index_t ServingCache::place_locked(index_t row, const float* value,
               std::memory_order_relaxed) < freq) {
         slot_of_row_.erase(victim);
         evicted_.fetch_add(1, std::memory_order_relaxed);
+        cache_counters().evicted.inc();
         slot = s;
         break;
       }
@@ -93,6 +123,7 @@ index_t ServingCache::place_locked(index_t row, const float* value,
   std::memcpy(values_.row(slot), value,
               sizeof(float) * static_cast<std::size_t>(dim_));
   admitted_.fetch_add(1, std::memory_order_relaxed);
+  cache_counters().admitted.inc();
   return slot;
 }
 
@@ -110,10 +141,12 @@ void ServingCache::admit(const std::vector<index_t>& rows,
         freq_[static_cast<std::size_t>(r)].load(std::memory_order_relaxed);
     if (f < config_.admit_min_freq) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      cache_counters().rejected.inc();
       continue;
     }
     if (place_locked(r, values.row(static_cast<index_t>(i)), f) < 0) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      cache_counters().rejected.inc();
     }
   }
 }

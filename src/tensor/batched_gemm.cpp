@@ -1,9 +1,15 @@
 #include "tensor/batched_gemm.hpp"
 
+#include "obs/trace.hpp"
+
 namespace elrec {
 
 BatchedGemmStats& batched_gemm_stats() {
-  static BatchedGemmStats stats;
+  auto& reg = obs::MetricsRegistry::global();
+  static BatchedGemmStats stats{reg.counter("tensor.batched_gemm.launches"),
+                                reg.counter("tensor.batched_gemm.products"),
+                                reg.counter("tensor.batched_gemm.skipped"),
+                                reg.counter("tensor.batched_gemm.flops")};
   return stats;
 }
 
@@ -12,6 +18,7 @@ void batched_gemm(const BatchedGemmShape& shape,
                   std::span<const float* const> b, std::span<float* const> c) {
   ELREC_CHECK(a.size() == b.size() && b.size() == c.size(),
               "batched_gemm pointer lists must have equal length");
+  TRACE_SPAN("tensor.batched_gemm");
 
   std::size_t executed = 0;
 #pragma omp parallel for schedule(static) reduction(+ : executed) \
@@ -25,13 +32,12 @@ void batched_gemm(const BatchedGemmShape& shape,
   // One relaxed add per counter per launch; exact totals, no per-product
   // contention.
   auto& stats = batched_gemm_stats();
-  stats.launches.fetch_add(1, std::memory_order_relaxed);
-  stats.products.fetch_add(executed, std::memory_order_relaxed);
-  stats.skipped.fetch_add(a.size() - executed, std::memory_order_relaxed);
-  stats.flops.fetch_add(executed * 2ULL * static_cast<std::size_t>(shape.m) *
-                            static_cast<std::size_t>(shape.n) *
-                            static_cast<std::size_t>(shape.k),
-                        std::memory_order_relaxed);
+  stats.launches.add(1);
+  stats.products.add(executed);
+  stats.skipped.add(a.size() - executed);
+  stats.flops.add(executed * 2ULL * static_cast<std::size_t>(shape.m) *
+                  static_cast<std::size_t>(shape.n) *
+                  static_cast<std::size_t>(shape.k));
 }
 
 }  // namespace elrec

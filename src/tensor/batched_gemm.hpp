@@ -6,9 +6,9 @@
 // lists; this kernel executes every (A_i, B_i, C_i) product.
 #pragma once
 
-#include <atomic>
 #include <span>
 
+#include "obs/metrics.hpp"
 #include "tensor/gemm.hpp"
 
 namespace elrec {
@@ -36,22 +36,23 @@ void batched_gemm(const BatchedGemmShape& shape,
 
 /// Bookkeeping counters so benchmarks can report launch/FLOP savings.
 ///
-/// The counters are process-wide relaxed atomics: launches recorded on a
-/// pipeline worker thread are visible from the test/driver thread (a
-/// thread_local accumulator silently read as zero there). batched_gemm()
-/// adds each launch's totals with one fetch_add per counter, so the cost
-/// stays negligible and counts are exact; only the *ordering* between
-/// concurrent launches is unspecified.
+/// The counters live in the process-wide MetricsRegistry under
+/// "tensor.batched_gemm.*" (launches / products / skipped / flops), so they
+/// appear in every MetricsSnapshot and BENCH_*.json metrics block; this
+/// struct is the cached hot-path handle onto those registry entries.
+/// Relaxed-atomic semantics as before: launches recorded on a pipeline
+/// worker thread are visible from the test/driver thread, totals are exact,
+/// only the *ordering* between concurrent launches is unspecified.
 struct BatchedGemmStats {
-  std::atomic<std::size_t> launches{0};  // batched_gemm() calls
-  std::atomic<std::size_t> products{0};  // individual GEMMs executed
-  std::atomic<std::size_t> skipped{0};   // nullptr gaps (reuse wins)
-  std::atomic<std::size_t> flops{0};     // 2*m*n*k per executed product
+  obs::Counter& launches;  // batched_gemm() calls
+  obs::Counter& products;  // individual GEMMs executed
+  obs::Counter& skipped;   // nullptr gaps (reuse wins)
+  obs::Counter& flops;     // 2*m*n*k per executed product
   void reset() {
-    launches.store(0, std::memory_order_relaxed);
-    products.store(0, std::memory_order_relaxed);
-    skipped.store(0, std::memory_order_relaxed);
-    flops.store(0, std::memory_order_relaxed);
+    launches.reset();
+    products.reset();
+    skipped.reset();
+    flops.reset();
   }
 };
 
@@ -68,10 +69,8 @@ struct BatchedGemmCounts {
 
 inline BatchedGemmCounts batched_gemm_counts() {
   const auto& s = batched_gemm_stats();
-  return {s.launches.load(std::memory_order_relaxed),
-          s.products.load(std::memory_order_relaxed),
-          s.skipped.load(std::memory_order_relaxed),
-          s.flops.load(std::memory_order_relaxed)};
+  return {s.launches.load(), s.products.load(), s.skipped.load(),
+          s.flops.load()};
 }
 
 /// Scoped delta over the process-wide counters: captures a snapshot at

@@ -1,0 +1,119 @@
+// Observability invariance contract (DESIGN.md §8): tracing and metrics are
+// pure observers. A short ElRecTrainer run with tracing enabled must be
+// BITWISE identical — loss curve floats and checkpoint file bytes — to the
+// same run with tracing disabled, at 1 thread and at 8 threads. Any span or
+// counter that perturbs model state (reordered reduction, extra RNG draw,
+// changed allocation pattern feeding a nondeterministic path) fails here.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "obs/trace.hpp"
+#include "pipeline/elrec_trainer.hpp"
+
+namespace elrec {
+namespace {
+
+struct RunResult {
+  std::vector<float> loss_curve;
+  std::string checkpoint_bytes;
+};
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing checkpoint " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+RunResult run_training(bool tracing, const std::string& ckpt_path) {
+  obs::set_trace_enabled(tracing);
+  obs::clear_trace();
+
+  DatasetSpec spec;
+  spec.name = "obs-invariance";
+  spec.num_dense = 4;
+  spec.table_rows = {4000, 512, 64};
+  spec.num_samples = 1 << 14;
+  spec.zipf_s = 1.15;
+
+  ElRecTrainerConfig cfg;
+  cfg.model.num_dense = spec.num_dense;
+  cfg.model.embedding_dim = 16;
+  cfg.model.bottom_hidden = {32};
+  cfg.model.top_hidden = {32};
+  cfg.placement = {TablePlacement::kDeviceTT, TablePlacement::kHost,
+                   TablePlacement::kDeviceDense};
+  cfg.tt_rank = 8;
+  cfg.queue_capacity = 4;
+  cfg.lr = 0.05f;
+  cfg.seed = 11;
+  constexpr index_t kBatches = 12;
+  cfg.checkpoint_every_n = kBatches;  // one checkpoint, at the end
+  cfg.checkpoint_path = ckpt_path;
+
+  ElRecTrainer trainer(cfg, spec);
+  SyntheticDataset data(spec, 17);
+  const ElRecRunStats stats = trainer.train(data, kBatches, 64);
+
+  RunResult r;
+  r.loss_curve = stats.loss_curve;
+  EXPECT_EQ(stats.checkpoints_written, 1);
+  r.checkpoint_bytes = read_file_bytes(ckpt_path);
+  std::remove(ckpt_path.c_str());
+
+  obs::set_trace_enabled(true);  // leave global state as other tests expect
+  return r;
+}
+
+void expect_bitwise_identical(const RunResult& traced,
+                              const RunResult& untraced) {
+  ASSERT_EQ(traced.loss_curve.size(), untraced.loss_curve.size());
+  ASSERT_FALSE(traced.loss_curve.empty());
+  // memcmp, not ==: NaN or signed-zero drift must fail too.
+  EXPECT_EQ(std::memcmp(traced.loss_curve.data(), untraced.loss_curve.data(),
+                        traced.loss_curve.size() * sizeof(float)),
+            0)
+      << "loss curves diverge: tracing perturbed training";
+  ASSERT_FALSE(traced.checkpoint_bytes.empty());
+  EXPECT_EQ(traced.checkpoint_bytes, untraced.checkpoint_bytes)
+      << "checkpoint bytes diverge: tracing perturbed persisted state";
+}
+
+void run_invariance_at(int threads, const std::string& tag) {
+#ifdef _OPENMP
+  const int prev = omp_get_max_threads();
+  omp_set_num_threads(threads);
+#else
+  if (threads > 1) GTEST_SKIP() << "built without OpenMP";
+#endif
+  const RunResult traced =
+      run_training(true, "obs_invariance_" + tag + "_on.ckpt");
+  const RunResult untraced =
+      run_training(false, "obs_invariance_" + tag + "_off.ckpt");
+#ifdef _OPENMP
+  omp_set_num_threads(prev);
+#endif
+  expect_bitwise_identical(traced, untraced);
+}
+
+TEST(ObsInvariance, TracedRunBitwiseIdenticalSingleThread) {
+  run_invariance_at(1, "t1");
+}
+
+TEST(ObsInvariance, TracedRunBitwiseIdenticalEightThreads) {
+  run_invariance_at(8, "t8");
+}
+
+}  // namespace
+}  // namespace elrec

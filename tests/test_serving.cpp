@@ -11,6 +11,7 @@
 
 #include "core/eff_tt_table.hpp"
 #include "data/stats.hpp"
+#include "obs/metrics.hpp"
 #include "data/synthetic.hpp"
 #include "embed/embedding_bag.hpp"
 #include "serve/inference_session.hpp"
@@ -246,6 +247,12 @@ TEST(RequestScheduler, ServesCorrectResultsAndCoalesces) {
   cfg.max_batch = 8;
   cfg.max_wait_us = 100000;  // generous window so the test is not timing-shy
   cfg.queue_capacity = 128;
+  // The scheduler mirrors every request's latency split into the global
+  // registry histograms; delta across this run must match the per-instance
+  // recorder exactly.
+  auto& reg = obs::MetricsRegistry::global();
+  const std::size_t queue_before = reg.histogram("serve.queue_us").count();
+  const std::size_t compute_before = reg.histogram("serve.compute_us").count();
   RequestScheduler sched(session, cfg);
 
   std::vector<std::future<RankingResponse>> futs(reqs.size());
@@ -272,6 +279,15 @@ TEST(RequestScheduler, ServesCorrectResultsAndCoalesces) {
   EXPECT_GT(largest, 1) << "scheduler never built a micro-batch";
   EXPECT_EQ(s.largest_batch, largest);
   EXPECT_EQ(sched.latency().count(), reqs.size());
+  EXPECT_EQ(reg.histogram("serve.queue_us").count() - queue_before,
+            reqs.size());
+  EXPECT_EQ(reg.histogram("serve.compute_us").count() - compute_before,
+            reqs.size());
+  const LatencySummary total = sched.latency().total_summary();
+  EXPECT_EQ(total.count, reqs.size());
+  EXPECT_GT(total.p50, 0.0);
+  EXPECT_GE(total.p99, total.p50);
+  EXPECT_GE(total.max, total.p99);  // summary clamps estimates to exact max
 }
 
 TEST(RequestScheduler, OverloadShedsAndAcceptedAreAllServed) {

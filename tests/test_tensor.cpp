@@ -7,6 +7,7 @@
 #include <thread>
 #include <tuple>
 
+#include "obs/metrics.hpp"
 #include "tensor/batched_gemm.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/matrix.hpp"
@@ -259,6 +260,52 @@ TEST(BatchedGemm, StatsAreProcessWideAcrossThreads) {
   EXPECT_EQ(stats.skipped.load(), 0u);
   EXPECT_EQ(stats.flops.load(),
             kThreads * kLaunchesPerThread * 2u * (2u * 2 * 2 * 2));
+
+  // The stats ARE registry counters now — the same totals must be readable
+  // through the registry under the tensor.batched_gemm.* names, and a
+  // snapshot taken here must carry them.
+  auto& reg = obs::MetricsRegistry::global();
+  EXPECT_EQ(reg.counter("tensor.batched_gemm.launches").value(),
+            static_cast<std::uint64_t>(kThreads * kLaunchesPerThread));
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  bool found = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "tensor.batched_gemm.products") {
+      found = true;
+      EXPECT_EQ(value,
+                static_cast<std::uint64_t>(kThreads * kLaunchesPerThread * 2));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BatchedGemm, ScopedCountersNestCleanly) {
+  // Nested ScopedBatchedGemmCounters are snapshot-deltas over the same
+  // process-wide counters: the inner scope sees only launches issued inside
+  // it, the outer scope sees inner + its own — nothing is double-counted.
+  Prng rng(11);
+  Matrix a(2, 2), b(2, 2), c(2, 2);
+  a.fill_normal(rng);
+  b.fill_normal(rng);
+  std::vector<const float*> pa{a.data()};
+  std::vector<const float*> pb{b.data()};
+  std::vector<float*> pc{c.data()};
+  BatchedGemmShape shape{2, 2, 2, 2, 2, 2, 1.0f, 0.0f, Trans::kNo, Trans::kNo};
+
+  const ScopedBatchedGemmCounters outer;
+  batched_gemm(shape, pa, pb, pc);  // outer-only launch
+  {
+    const ScopedBatchedGemmCounters inner;
+    batched_gemm(shape, pa, pb, pc);
+    batched_gemm(shape, pa, pb, pc);
+    const BatchedGemmCounts d = inner.delta();
+    EXPECT_EQ(d.launches, 2u);
+    EXPECT_EQ(d.products, 2u);
+  }
+  const BatchedGemmCounts d = outer.delta();
+  EXPECT_EQ(d.launches, 3u);  // 1 outer + 2 inner, counted once each
+  EXPECT_EQ(d.products, 3u);
+  EXPECT_EQ(d.flops, 3u * 2 * 2 * 2 * 2);
 }
 
 TEST(BatchedGemm, MismatchedListsThrow) {

@@ -1,0 +1,64 @@
+// Schema checker for exported chrome://tracing JSON files.
+//
+//   trace_check TRACE.json [required-name-prefix ...]
+//
+// Validates JSON syntax and the traceEvents schema; with prefixes given,
+// additionally requires at least one span whose name starts with each
+// prefix (so CI can assert that a trace covers the expected subsystems).
+// Exit 0 on success, 1 on any failure, with the reason on stderr.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_check TRACE.json [name-prefix ...]\n");
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const std::string err = elrec::obs::validate_chrome_trace(text);
+  if (!err.empty()) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", argv[1], err.c_str());
+    return 1;
+  }
+
+  elrec::obs::JsonValue doc;
+  elrec::obs::parse_json(text, doc);  // validated above; cannot fail now
+  const elrec::obs::JsonValue* events = doc.find("traceEvents");
+
+  std::set<std::string> missing;
+  for (int i = 2; i < argc; ++i) missing.insert(argv[i]);
+  for (const elrec::obs::JsonValue& e : events->array) {
+    const std::string& name = e.find("name")->str;
+    for (auto it = missing.begin(); it != missing.end();) {
+      if (name.rfind(*it, 0) == 0) {
+        it = missing.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (!missing.empty()) {
+    for (const std::string& p : missing) {
+      std::fprintf(stderr, "trace_check: %s: no span named %s*\n", argv[1],
+                   p.c_str());
+    }
+    return 1;
+  }
+  std::printf("trace_check: %s OK (%zu events)\n", argv[1],
+              events->array.size());
+  return 0;
+}
