@@ -7,6 +7,11 @@
 #   scripts/check.sh --obs           # observability smoke: traced mini-train,
 #                                    # schema-check the chrome trace, require
 #                                    # the metrics block in the BENCH json
+#   scripts/check.sh --analyze       # static-analysis matrix: elrec_lint over
+#                                    # src/ + lint unit tests, then the
+#                                    # sanitize-labelled suites rebuilt under
+#                                    # TSan, ASan and UBSan (build-tsan/,
+#                                    # build-asan/, build-ubsan/)
 #   BUILD_DIR=build-tsan scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,6 +38,37 @@ if [[ "$MODE" == "--obs" ]]; then
   grep -q '"metrics"' "$BUILD_DIR/bench/BENCH_fig16_pipeline.json" \
     || { echo "BENCH_fig16_pipeline.json missing \"metrics\" block" >&2; exit 1; }
   echo "observability smoke OK"
+  exit 0
+fi
+
+if [[ "$MODE" == "--analyze" ]]; then
+  echo "== elrec-lint: project-invariant rules over src/ =="
+  # Soft defaults pick up tools/elrec_lint_baseline.txt and
+  # tools/trace_spans.manifest from the repo root; exits 1 on any fresh
+  # finding. NOLINT at the site (with justification) is the sanctioned
+  # escape hatch — the shipped baseline stays empty.
+  "$BUILD_DIR/tools/elrec_lint" src
+
+  echo "== lint unit tests (lexer, rules, baseline, driver) =="
+  ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure -j"$JOBS"
+
+  # Sanitizer matrix: rebuild the tree under each sanitizer and rerun the
+  # concurrency-heavy suites. GCC/clang keep the sanitizer runtimes
+  # separate, so each mode gets its own build dir.
+  for san in thread address undefined; do
+    san_dir="build-${san}"
+    case "$san" in
+      thread)    san_dir="build-tsan"  ;;
+      address)   san_dir="build-asan"  ;;
+      undefined) san_dir="build-ubsan" ;;
+    esac
+    echo "== sanitizer matrix: ELREC_SANITIZE=${san} (${san_dir}) =="
+    cmake -B "$san_dir" -S . -DELREC_SANITIZE="$san"
+    cmake --build "$san_dir" -j"$JOBS"
+    ctest --test-dir "$san_dir" -L sanitize --output-on-failure -j"$JOBS"
+  done
+
+  echo "analyze matrix OK (lint + TSan + ASan + UBSan)"
   exit 0
 fi
 

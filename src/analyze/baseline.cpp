@@ -1,0 +1,77 @@
+#include "analyze/baseline.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace elrec::analyze {
+
+namespace {
+
+std::string key_of(const Finding& f) {
+  return f.rule + "\t" + f.path + "\t" + f.snippet;
+}
+
+}  // namespace
+
+Baseline Baseline::load(const std::string& path) {
+  Baseline b;
+  std::ifstream in(path);
+  if (!in.good()) return b;  // no baseline file: nothing grandfathered
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t t1 = line.find('\t');
+    const std::size_t t2 =
+        t1 == std::string::npos ? std::string::npos : line.find('\t', t1 + 1);
+    if (t2 == std::string::npos) {
+      throw std::runtime_error("malformed baseline entry at " + path + ":" +
+                               std::to_string(lineno) +
+                               " (want rule\\tpath\\tsnippet)");
+    }
+    b.entries_.push_back(line);
+  }
+  std::sort(b.entries_.begin(), b.entries_.end());
+  return b;
+}
+
+Baseline Baseline::from_findings(const std::vector<Finding>& findings) {
+  Baseline b;
+  for (const Finding& f : findings) b.entries_.push_back(key_of(f));
+  std::sort(b.entries_.begin(), b.entries_.end());
+  b.entries_.erase(std::unique(b.entries_.begin(), b.entries_.end()),
+                   b.entries_.end());
+  return b;
+}
+
+bool Baseline::contains(const Finding& f) const {
+  return std::binary_search(entries_.begin(), entries_.end(), key_of(f));
+}
+
+std::string Baseline::serialize() const {
+  std::ostringstream out;
+  out << "# elrec_lint findings baseline — rule\\tpath\\tsnippet per line.\n"
+         "# Regenerate with: tools/elrec_lint --write-baseline <paths>\n"
+         "# Keep this empty: fix findings or NOLINT them with a reason.\n";
+  for (const std::string& e : entries_) out << e << "\n";
+  return out.str();
+}
+
+BaselineSplit apply_baseline(const Baseline& b,
+                             std::vector<Finding> findings) {
+  BaselineSplit split;
+  for (auto& f : findings) {
+    if (b.contains(f)) {
+      ++split.baselined;
+    } else {
+      split.fresh.push_back(std::move(f));
+    }
+  }
+  return split;
+}
+
+}  // namespace elrec::analyze

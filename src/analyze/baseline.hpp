@@ -1,0 +1,52 @@
+// Findings baseline: grandfathered findings that do not fail the build.
+//
+// Format (one entry per line, tab-separated, '#' comments):
+//   <rule>\t<path>\t<trimmed offending line text>
+// Entries match on content, not line number, so edits elsewhere in a file
+// never churn the baseline. Each entry absorbs any number of identical
+// findings on distinct lines of the same file (a repeated legacy pattern
+// is one decision, not N).
+//
+// Policy note (DESIGN.md §9): the baseline exists so the linter could be
+// introduced into a dirty tree without a flag day; this repo fixed its
+// findings instead, so the shipped baseline is empty and should stay that
+// way — prefer NOLINT-with-justification at the site over a new baseline
+// entry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/finding.hpp"
+
+namespace elrec::analyze {
+
+class Baseline {
+ public:
+  /// Loads entries from `path`. Missing file == empty baseline. Throws
+  /// std::runtime_error on a malformed line (a bad baseline must not
+  /// silently admit findings).
+  static Baseline load(const std::string& path);
+
+  /// Baseline covering exactly `findings` (for --write-baseline).
+  static Baseline from_findings(const std::vector<Finding>& findings);
+
+  bool contains(const Finding& f) const;
+  std::size_t size() const { return entries_.size(); }
+
+  /// Serializes in the load() format, sorted, with a header comment.
+  std::string serialize() const;
+
+ private:
+  // rule \t path \t snippet, stored pre-joined for set lookup.
+  std::vector<std::string> entries_;
+};
+
+/// Splits `findings` into (kept, baselined) under `b`.
+struct BaselineSplit {
+  std::vector<Finding> fresh;
+  std::size_t baselined = 0;
+};
+BaselineSplit apply_baseline(const Baseline& b, std::vector<Finding> findings);
+
+}  // namespace elrec::analyze

@@ -1,0 +1,116 @@
+#include "analyze/driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace elrec::analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".hh" || ext == ".hxx" ||
+         ext == ".cpp" || ext == ".cc" || ext == ".cxx";
+}
+
+bool skip_directory(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == ".git" || name.rfind("build", 0) == 0;
+}
+
+}  // namespace
+
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    const fs::path root(p);
+    if (fs::is_regular_file(root)) {
+      files.push_back(root.generic_string());
+      continue;
+    }
+    if (!fs::is_directory(root)) {
+      throw std::runtime_error("elrec_lint: no such file or directory: " + p);
+    }
+    fs::recursive_directory_iterator it(root), end;
+    for (; it != end; ++it) {
+      if (it->is_directory() && skip_directory(it->path())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && lintable_extension(it->path())) {
+        files.push_back(it->path().generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::vector<TraceSpanRequirement> load_trace_manifest(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("elrec_lint: cannot read trace manifest " + path);
+  }
+  std::vector<TraceSpanRequirement> reqs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    TraceSpanRequirement req;
+    if (!(fields >> req.file_suffix)) continue;  // blank/comment line
+    std::string extra;
+    if (!(fields >> req.function) || (fields >> extra)) {
+      throw std::runtime_error(
+          "elrec_lint: malformed manifest line " + std::to_string(lineno) +
+          " in " + path + " (want: <file-suffix> <function>)");
+    }
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+LintResult run_lint(const RuleRegistry& registry, const LintOptions& options) {
+  LintContext ctx;
+  if (!options.trace_manifest_path.empty()) {
+    ctx.trace_manifest = load_trace_manifest(options.trace_manifest_path);
+  }
+  const Baseline baseline = options.baseline_path.empty()
+                               ? Baseline{}
+                               : Baseline::load(options.baseline_path);
+
+  LintResult result;
+  const std::vector<std::string> files = collect_sources(options.paths);
+  result.summary.files_scanned = files.size();
+
+  std::vector<Finding> kept;
+  for (const std::string& path : files) {
+    const SourceFile file = SourceFile::from_disk(path);
+    for (Finding& f : registry.run(file, ctx, options.only_rules)) {
+      if (file.suppressed(f.rule, f.line)) {
+        ++result.summary.suppressed;
+      } else {
+        kept.push_back(std::move(f));
+      }
+    }
+  }
+
+  BaselineSplit split = apply_baseline(baseline, std::move(kept));
+  result.summary.baselined = split.baselined;
+  result.summary.findings = split.fresh.size();
+  result.fresh = std::move(split.fresh);
+  return result;
+}
+
+}  // namespace elrec::analyze

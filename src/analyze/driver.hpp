@@ -1,0 +1,41 @@
+// Lint driver: walks source trees, runs the rule registry over every file,
+// applies NOLINT suppressions and the baseline, and renders a report.
+// tools/elrec_lint is a thin argv shell around run_lint().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/baseline.hpp"
+#include "analyze/reporter.hpp"
+#include "analyze/rule.hpp"
+
+namespace elrec::analyze {
+
+struct LintOptions {
+  std::vector<std::string> paths;     // files and/or directories
+  std::string baseline_path;          // "" = no baseline
+  std::string trace_manifest_path;    // "" = trace-span-coverage idles
+  std::vector<std::string> only_rules;  // empty = all rules
+};
+
+struct LintResult {
+  std::vector<Finding> fresh;  // findings that should fail the run
+  LintSummary summary;
+};
+
+/// Recursively collects lintable sources (.hpp/.h/.hh/.hxx/.cpp/.cc/.cxx)
+/// under `paths`, skipping build*/.git directories; sorted for
+/// deterministic reports. A path that is itself a file is taken as-is.
+/// Throws std::runtime_error on a nonexistent path.
+std::vector<std::string> collect_sources(const std::vector<std::string>& paths);
+
+/// Parses a trace-span manifest: `<file-suffix> <function>` per line,
+/// '#' comments. Throws std::runtime_error if `path` is unreadable or a
+/// line is malformed.
+std::vector<TraceSpanRequirement> load_trace_manifest(const std::string& path);
+
+/// Runs the full pass. File read errors propagate as std::runtime_error.
+LintResult run_lint(const RuleRegistry& registry, const LintOptions& options);
+
+}  // namespace elrec::analyze

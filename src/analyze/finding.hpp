@@ -1,0 +1,21 @@
+// A single lint diagnostic plus its identity for baseline matching.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace elrec::analyze {
+
+struct Finding {
+  std::string rule;     // rule name, e.g. "determinism-rand"
+  std::string path;     // file path as given to the driver
+  std::size_t line = 0;
+  std::size_t col = 0;
+  std::string message;
+  // Trimmed text of the offending source line. Baseline entries match on
+  // (rule, path, snippet) — not the line number — so unrelated edits that
+  // shift a legacy finding up or down do not churn the baseline.
+  std::string snippet;
+};
+
+}  // namespace elrec::analyze

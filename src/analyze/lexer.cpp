@@ -1,0 +1,250 @@
+#include "analyze/lexer.hpp"
+
+#include <cctype>
+
+namespace elrec::analyze {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Cursor over the source with line/column bookkeeping.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  bool eof() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  std::size_t pos() const { return pos_; }
+  std::size_t line() const { return line_; }
+  std::size_t col() const { return col_; }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  std::string_view slice(std::size_t from) const {
+    return src_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+};
+
+// Two- and three-character punctuators worth keeping intact; rules only
+// look at a few (`::`, `->`), but splitting e.g. `<<` into `<` `<` would
+// make positions confusing in reports.
+bool match_multichar_punct(const Scanner& s, std::size_t* len) {
+  static constexpr const char* kThree[] = {"->*", "<<=", ">>=", "<=>", "..."};
+  static constexpr const char* kTwo[] = {"::", "->", "<<", ">>", "<=", ">=",
+                                         "==", "!=", "&&", "||", "+=", "-=",
+                                         "*=", "/=", "%=", "&=", "|=", "^=",
+                                         "++", "--"};
+  for (const char* p : kThree) {
+    if (s.peek() == p[0] && s.peek(1) == p[1] && s.peek(2) == p[2]) {
+      *len = 3;
+      return true;
+    }
+  }
+  for (const char* p : kTwo) {
+    if (s.peek() == p[0] && s.peek(1) == p[1]) {
+      *len = 2;
+      return true;
+    }
+  }
+  return false;
+}
+
+void lex_quoted(Scanner& s, char quote) {
+  s.advance();  // opening quote
+  while (!s.eof()) {
+    const char c = s.peek();
+    if (c == '\\' && s.peek(1) != '\0') {
+      s.advance();
+      s.advance();
+      continue;
+    }
+    if (c == quote || c == '\n') {  // newline: malformed literal, recover
+      if (c == quote) s.advance();
+      return;
+    }
+    s.advance();
+  }
+}
+
+// `R"delim(` already identified; consumes through `)delim"`.
+void lex_raw_string(Scanner& s) {
+  s.advance();  // the `"`
+  std::string delim;
+  while (!s.eof() && s.peek() != '(' && s.peek() != '\n') {
+    delim.push_back(s.advance());
+  }
+  if (s.eof() || s.peek() == '\n') return;  // malformed, recover at newline
+  s.advance();                              // `(`
+  const std::string close = ")" + delim + "\"";
+  std::size_t matched = 0;
+  while (!s.eof()) {
+    if (s.peek() == close[matched]) {
+      ++matched;
+      s.advance();
+      if (matched == close.size()) return;
+    } else {
+      // restart the match; the mismatched char may itself begin `)`
+      matched = s.peek() == close[0] ? 1 : 0;
+      s.advance();
+    }
+  }
+}
+
+bool is_raw_string_prefix(std::string_view ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+// Consumes a preprocessor logical line starting at `#`. Stops before a
+// trailing `//` comment (so NOLINT markers on pragma lines stay separate
+// comment tokens); joins backslash continuations; skips block comments.
+void lex_pp_directive(Scanner& s, std::string* text) {
+  while (!s.eof()) {
+    const char c = s.peek();
+    if (c == '\n') return;
+    if (c == '\\' && s.peek(1) == '\n') {
+      s.advance();
+      s.advance();
+      text->push_back(' ');
+      continue;
+    }
+    if (c == '/' && s.peek(1) == '/') return;
+    if (c == '/' && s.peek(1) == '*') {
+      s.advance();
+      s.advance();
+      while (!s.eof() && !(s.peek() == '*' && s.peek(1) == '/')) s.advance();
+      if (!s.eof()) {
+        s.advance();
+        s.advance();
+      }
+      text->push_back(' ');
+      continue;
+    }
+    text->push_back(s.advance());
+  }
+}
+
+}  // namespace
+
+TokenStream lex(std::string_view source) {
+  TokenStream tokens;
+  Scanner s(source);
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  while (!s.eof()) {
+    const char c = s.peek();
+
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') at_line_start = true;
+      s.advance();
+      continue;
+    }
+
+    const std::size_t start = s.pos();
+    const std::size_t line = s.line();
+    const std::size_t col = s.col();
+
+    if (c == '/' && s.peek(1) == '/') {
+      while (!s.eof() && s.peek() != '\n') s.advance();
+      tokens.push_back({TokenKind::kComment, std::string(s.slice(start)), line, col});
+      continue;
+    }
+    if (c == '/' && s.peek(1) == '*') {
+      s.advance();
+      s.advance();
+      while (!s.eof() && !(s.peek() == '*' && s.peek(1) == '/')) s.advance();
+      if (!s.eof()) {
+        s.advance();
+        s.advance();
+      }
+      tokens.push_back({TokenKind::kComment, std::string(s.slice(start)), line, col});
+      continue;
+    }
+
+    if (c == '#' && at_line_start) {
+      std::string text;
+      lex_pp_directive(s, &text);
+      tokens.push_back({TokenKind::kPpDirective, std::move(text), line, col});
+      continue;
+    }
+    at_line_start = false;
+
+    if (c == '"') {
+      lex_quoted(s, '"');
+      tokens.push_back({TokenKind::kString, std::string(s.slice(start)), line, col});
+      continue;
+    }
+    if (c == '\'') {
+      lex_quoted(s, '\'');
+      tokens.push_back({TokenKind::kCharLit, std::string(s.slice(start)), line, col});
+      continue;
+    }
+
+    if (is_ident_start(c)) {
+      while (!s.eof() && is_ident_char(s.peek())) s.advance();
+      std::string text(s.slice(start));
+      if (is_raw_string_prefix(text) && s.peek() == '"') {
+        lex_raw_string(s);
+        tokens.push_back({TokenKind::kString, std::string(s.slice(start)), line, col});
+      } else {
+        tokens.push_back({TokenKind::kIdentifier, std::move(text), line, col});
+      }
+      continue;
+    }
+
+    if (is_digit(c) || (c == '.' && is_digit(s.peek(1)))) {
+      while (!s.eof()) {
+        const char d = s.peek();
+        if (is_ident_char(d) || d == '.') {
+          const char prev = s.advance();
+          // exponent sign: 1e+5, 0x1p-3
+          if ((prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') &&
+              (s.peek() == '+' || s.peek() == '-')) {
+            s.advance();
+          }
+        } else if (d == '\'' && is_ident_char(s.peek(1))) {
+          s.advance();  // digit separator
+        } else {
+          break;
+        }
+      }
+      tokens.push_back({TokenKind::kNumber, std::string(s.slice(start)), line, col});
+      continue;
+    }
+
+    std::size_t len = 1;
+    match_multichar_punct(s, &len);
+    for (std::size_t i = 0; i < len; ++i) s.advance();
+    tokens.push_back({TokenKind::kPunct, std::string(s.slice(start)), line, col});
+  }
+
+  return tokens;
+}
+
+}  // namespace elrec::analyze

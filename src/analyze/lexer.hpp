@@ -1,0 +1,21 @@
+// Single-pass C++ scanner for elrec-lint.
+//
+// Not a compiler front end: it tokenizes well-formed C++ faithfully enough
+// for lexical invariant rules and degrades gracefully (never throws, never
+// loses position) on anything odd. Handles line/block comments, string and
+// character literals with escapes, raw strings R"delim(...)delim", numbers
+// with separators, multi-character punctuators it cares about (`::`, `->`),
+// and preprocessor logical lines with backslash continuations.
+#pragma once
+
+#include <string_view>
+
+#include "analyze/token.hpp"
+
+namespace elrec::analyze {
+
+/// Tokenizes `source`. The returned stream preserves source order; every
+/// token carries its 1-based line/column.
+TokenStream lex(std::string_view source);
+
+}  // namespace elrec::analyze

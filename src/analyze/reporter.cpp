@@ -1,0 +1,80 @@
+#include "analyze/reporter.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace elrec::analyze {
+
+namespace {
+
+void append_json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void append_summary(std::ostringstream& out, const LintSummary& s) {
+  out << "{\"files_scanned\": " << s.files_scanned
+      << ", \"findings\": " << s.findings
+      << ", \"suppressed\": " << s.suppressed
+      << ", \"baselined\": " << s.baselined << "}";
+}
+
+}  // namespace
+
+std::string report_text(const std::vector<Finding>& findings,
+                        const LintSummary& summary) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.path << ":" << f.line << ":" << f.col << ": [elrec-" << f.rule
+        << "] " << f.message << "\n";
+    if (!f.snippet.empty()) out << "    " << f.snippet << "\n";
+  }
+  out << summary.findings << " finding(s) across " << summary.files_scanned
+      << " file(s) (" << summary.suppressed << " NOLINT-suppressed, "
+      << summary.baselined << " baselined)\n";
+  return out.str();
+}
+
+std::string report_json(const std::vector<Finding>& findings,
+                        const LintSummary& summary) {
+  std::ostringstream out;
+  out << "{\"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (!first) out << ", ";
+    first = false;
+    out << "{\"rule\": ";
+    append_json_string(out, "elrec-" + f.rule);
+    out << ", \"path\": ";
+    append_json_string(out, f.path);
+    out << ", \"line\": " << f.line << ", \"col\": " << f.col
+        << ", \"message\": ";
+    append_json_string(out, f.message);
+    out << ", \"snippet\": ";
+    append_json_string(out, f.snippet);
+    out << "}";
+  }
+  out << "], \"summary\": ";
+  append_summary(out, summary);
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace elrec::analyze

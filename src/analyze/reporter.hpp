@@ -1,0 +1,29 @@
+// Finding reporters: compiler-style text and machine-readable JSON.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/finding.hpp"
+
+namespace elrec::analyze {
+
+/// Aggregate numbers for the run footer / JSON summary block.
+struct LintSummary {
+  std::size_t files_scanned = 0;
+  std::size_t findings = 0;    // fresh findings (reported, fail the run)
+  std::size_t suppressed = 0;  // silenced by NOLINT markers
+  std::size_t baselined = 0;   // absorbed by the baseline file
+};
+
+/// `path:line:col: [elrec-rule] message` per finding plus a footer line.
+std::string report_text(const std::vector<Finding>& findings,
+                        const LintSummary& summary);
+
+/// {"findings":[{rule,path,line,col,message,snippet},...],
+///  "summary":{files_scanned,findings,suppressed,baselined}}
+std::string report_json(const std::vector<Finding>& findings,
+                        const LintSummary& summary);
+
+}  // namespace elrec::analyze

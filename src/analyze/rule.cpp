@@ -1,0 +1,57 @@
+#include "analyze/rule.hpp"
+
+#include <algorithm>
+
+namespace elrec::analyze {
+
+void RuleRegistry::add(std::unique_ptr<Rule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+const Rule* RuleRegistry::find(std::string_view name) const {
+  for (const auto& r : rules_) {
+    if (r->name() == name) return r.get();
+  }
+  return nullptr;
+}
+
+std::vector<Finding> RuleRegistry::run(
+    const SourceFile& file, const LintContext& ctx,
+    const std::vector<std::string>& only) const {
+  std::vector<Finding> out;
+  for (const auto& r : rules_) {
+    if (!only.empty() &&
+        std::find(only.begin(), only.end(), r->name()) == only.end()) {
+      continue;
+    }
+    r->check(file, ctx, out);
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    if (a.col != b.col) return a.col < b.col;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+Finding make_finding(const SourceFile& file, std::string_view rule,
+                     std::size_t line, std::size_t col, std::string message) {
+  Finding f;
+  f.rule = std::string(rule);
+  f.path = file.path();
+  f.line = line;
+  f.col = col;
+  f.message = std::move(message);
+  std::string_view text = file.line_text(line);
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  f.snippet = std::string(text);
+  return f;
+}
+
+}  // namespace elrec::analyze

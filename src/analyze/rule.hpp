@@ -1,0 +1,64 @@
+// Rule interface and registry for elrec-lint.
+//
+// A rule inspects one SourceFile's token stream and reports Findings. The
+// registry owns the rule set; `RuleRegistry::with_builtin_rules()` loads
+// every shipped project-invariant rule (rules.cpp). Suppression and
+// baseline filtering happen in the driver, not in rules — a rule always
+// reports everything it sees.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/finding.hpp"
+#include "analyze/source_file.hpp"
+
+namespace elrec::analyze {
+
+/// One required TRACE_SPAN site: the function `function` defined in a file
+/// whose path ends with `file_suffix` must contain a TRACE_SPAN token.
+struct TraceSpanRequirement {
+  std::string file_suffix;
+  std::string function;
+};
+
+/// Cross-file configuration handed to every rule.
+struct LintContext {
+  std::vector<TraceSpanRequirement> trace_manifest;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  /// Short kebab-case name; the NOLINT tag is "elrec-" + name().
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+  virtual void check(const SourceFile& file, const LintContext& ctx,
+                     std::vector<Finding>& out) const = 0;
+};
+
+class RuleRegistry {
+ public:
+  /// Registry preloaded with every shipped rule.
+  static RuleRegistry with_builtin_rules();
+
+  void add(std::unique_ptr<Rule> rule);
+  const Rule* find(std::string_view name) const;
+  const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+
+  /// Runs every rule (or only `only`, when non-empty) over `file`.
+  /// Returned findings are ordered by (line, col, rule).
+  std::vector<Finding> run(const SourceFile& file, const LintContext& ctx,
+                           const std::vector<std::string>& only = {}) const;
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// Helper for rules: builds a Finding with the snippet filled from `file`.
+Finding make_finding(const SourceFile& file, std::string_view rule,
+                     std::size_t line, std::size_t col, std::string message);
+
+}  // namespace elrec::analyze

@@ -1,0 +1,132 @@
+#include "analyze/source_file.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analyze/lexer.hpp"
+
+namespace elrec::analyze {
+
+namespace {
+
+// True if `path` has `part` as a whole directory component.
+bool has_path_component(std::string_view path, std::string_view part) {
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t next = path.find('/', pos);
+    const std::string_view comp =
+        path.substr(pos, next == std::string_view::npos ? next : next - pos);
+    if (comp == part) return true;
+    if (next == std::string_view::npos) break;
+    pos = next + 1;
+  }
+  return false;
+}
+
+// Parses one comment's text for NOLINT markers. Returns true if a marker
+// was found; fills `rules` with the named rules ("" alone means all) and
+// sets `next_line` for NOLINTNEXTLINE.
+bool parse_nolint(std::string_view comment, std::vector<std::string>* rules,
+                  bool* next_line) {
+  std::size_t at = comment.find("NOLINT");
+  if (at == std::string_view::npos) return false;
+  std::size_t after = at + 6;
+  *next_line = comment.substr(after).rfind("NEXTLINE", 0) == 0;
+  if (*next_line) after += 8;
+  rules->clear();
+  if (after < comment.size() && comment[after] == '(') {
+    const std::size_t close = comment.find(')', after);
+    std::string_view list = comment.substr(
+        after + 1,
+        close == std::string_view::npos ? close : close - after - 1);
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      std::size_t comma = list.find(',', pos);
+      std::string_view item = list.substr(
+          pos, comma == std::string_view::npos ? comma : comma - pos);
+      while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+      while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+      if (item.rfind("elrec-", 0) == 0) item.remove_prefix(6);
+      if (!item.empty()) rules->emplace_back(item);
+      if (comma == std::string_view::npos) break;
+      pos = comma + 1;
+    }
+    // NOLINT(...) with no recognized rule names suppresses nothing — a
+    // typo'd tag must not silently widen to "all rules".
+    return !rules->empty();
+  }
+  rules->emplace_back("");  // bare NOLINT: all rules
+  return true;
+}
+
+}  // namespace
+
+SourceFile SourceFile::from_source(std::string path, std::string source) {
+  SourceFile f;
+  f.path_ = std::move(path);
+  f.source_ = std::move(source);
+  std::size_t pos = 0;
+  while (pos <= f.source_.size()) {
+    const std::size_t nl = f.source_.find('\n', pos);
+    if (nl == std::string::npos) {
+      f.lines_.emplace_back(std::string_view(f.source_).substr(pos));
+      break;
+    }
+    f.lines_.emplace_back(std::string_view(f.source_).substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  f.tokens_ = lex(f.source_);
+  f.index_suppressions();
+  return f;
+}
+
+SourceFile SourceFile::from_disk(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw std::runtime_error("elrec_lint: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_source(path, buf.str());
+}
+
+std::string_view SourceFile::line_text(std::size_t line_1based) const {
+  if (line_1based == 0 || line_1based > lines_.size()) return {};
+  return lines_[line_1based - 1];
+}
+
+bool SourceFile::is_header() const {
+  return path_.ends_with(".hpp") || path_.ends_with(".h") ||
+         path_.ends_with(".hh") || path_.ends_with(".hxx");
+}
+
+bool SourceFile::in_library() const {
+  if (has_path_component(path_, "tools") ||
+      has_path_component(path_, "bench") ||
+      has_path_component(path_, "examples") ||
+      has_path_component(path_, "tests")) {
+    return false;
+  }
+  return has_path_component(path_, "src");
+}
+
+bool SourceFile::suppressed(std::string_view rule, std::size_t line) const {
+  const auto it = nolint_.find(line);
+  if (it == nolint_.end()) return false;
+  return it->second.count("") > 0 || it->second.count(std::string(rule)) > 0;
+}
+
+void SourceFile::index_suppressions() {
+  std::vector<std::string> rules;
+  for (const Token& t : tokens_) {
+    if (t.kind != TokenKind::kComment) continue;
+    bool next_line = false;
+    if (!parse_nolint(t.text, &rules, &next_line)) continue;
+    // Block comments can span lines; NOLINT applies to the line the
+    // comment starts on (or the one after, for NEXTLINE).
+    const std::size_t target = next_line ? t.line + 1 : t.line;
+    auto& set = nolint_[target];
+    for (auto& r : rules) set.insert(r);
+  }
+}
+
+}  // namespace elrec::analyze

@@ -1,0 +1,62 @@
+// One analyzed file: its token stream, raw lines, path classification, and
+// the `NOLINT` suppressions parsed out of its comments.
+//
+// Suppression grammar (comment text, anywhere in the comment):
+//   NOLINT                          — all rules, this line
+//   NOLINT(elrec-rule-a, elrec-b)   — listed rules, this line
+//   NOLINTNEXTLINE / NOLINTNEXTLINE(elrec-rule) — same, following line
+// A `: reason` tail after the closing parenthesis is encouraged (the
+// satellite suppressions in this repo all carry one) and ignored by the
+// parser.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analyze/token.hpp"
+
+namespace elrec::analyze {
+
+class SourceFile {
+ public:
+  /// Lexes `source` as the contents of `path` (no filesystem access).
+  static SourceFile from_source(std::string path, std::string source);
+
+  /// Reads and lexes a file on disk. Throws std::runtime_error if
+  /// unreadable.
+  static SourceFile from_disk(const std::string& path);
+
+  const std::string& path() const { return path_; }
+  const TokenStream& tokens() const { return tokens_; }
+
+  /// 0-based access to the raw line; returns "" out of range.
+  std::string_view line_text(std::size_t line_1based) const;
+  std::size_t line_count() const { return lines_.size(); }
+
+  bool is_header() const;
+
+  /// True for library code: under a `src/` path component. tools/, bench/,
+  /// examples/ and tests/ are CLI/driver surface and exempt from
+  /// library-only rules like iostream-in-lib.
+  bool in_library() const;
+
+  /// True if a finding for `rule` on `line` is suppressed by a NOLINT
+  /// marker (bare NOLINT or one naming `elrec-<rule>`).
+  bool suppressed(std::string_view rule, std::size_t line) const;
+
+ private:
+  void index_suppressions();
+
+  std::string path_;
+  std::string source_;
+  std::vector<std::string_view> lines_;  // views into source_
+  TokenStream tokens_;
+  // line -> rule names suppressed there; "" means every rule.
+  std::unordered_map<std::size_t, std::unordered_set<std::string>> nolint_;
+};
+
+}  // namespace elrec::analyze

@@ -1,0 +1,37 @@
+// Token model for the elrec-lint scanner.
+//
+// The lexer (lexer.hpp) reduces a C++ translation unit to a flat token
+// stream that is just structured enough for project-invariant rules:
+// comments and string/char literals are opaque single tokens (so a
+// `rand()` inside a string can never trip the determinism rule), and a
+// preprocessor directive — including its backslash continuations — is one
+// token carrying the whole logical line (so `#pragma omp ...` clauses can
+// be inspected as text).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace elrec::analyze {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (rules match on text)
+  kNumber,      // numeric literal, incl. hex/bin/digit separators
+  kString,      // "..." or R"delim(...)delim", text includes quotes
+  kCharLit,     // '...'
+  kPunct,       // one operator/punctuator character sequence
+  kComment,     // // or /* */, text includes the comment markers
+  kPpDirective, // full preprocessor logical line, continuations joined
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 1-based line of the token's first character
+  std::size_t col = 0;   // 1-based column of the token's first character
+};
+
+using TokenStream = std::vector<Token>;
+
+}  // namespace elrec::analyze

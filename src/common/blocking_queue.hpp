@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace elrec {
 
@@ -136,8 +137,8 @@ class BlockingQueue {
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  std::deque<T> items_ ELREC_GUARDED_BY(mu_);
+  bool closed_ ELREC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace elrec

@@ -53,6 +53,9 @@ class BinaryWriter {
     // finish()/flush() are the throwing paths; if the owner skipped them a
     // destructor cannot throw, so at least make the failure visible.
     if (!out_.good() && !failure_reported_) {
+      // A destructor cannot throw and has no obs channel for a torn
+      // checkpoint; stderr is the last resort.
+      // NOLINTNEXTLINE(elrec-iostream-in-lib)
       std::fprintf(stderr, "elrec: BinaryWriter(%s) destroyed with failed stream — checkpoint is incomplete\n",
                    path_.c_str());
     }

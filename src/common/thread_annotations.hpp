@@ -1,0 +1,48 @@
+// Clang thread-safety annotations (-Wthread-safety), no-ops elsewhere.
+//
+// These make the locking contracts of the concurrent classes checkable at
+// compile time on clang: members carry ELREC_GUARDED_BY(mu_), private
+// *_locked() helpers carry ELREC_REQUIRES(mu_), and a clang build with
+// -Wthread-safety (added automatically in CMakeLists.txt) rejects any
+// access that does not hold the right lock. GCC builds see empty macros —
+// the annotations are documentation there, enforced the next time anyone
+// builds with clang (scripts/check.sh --analyze does when clang++ is
+// installed).
+//
+// Convention (DESIGN.md §9): annotate the data, not the function, wherever
+// possible; a function-level ELREC_REQUIRES is for private helpers whose
+// callers hold the lock. Public APIs never require a caller-held lock.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define ELREC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ELREC_THREAD_ANNOTATION
+#define ELREC_THREAD_ANNOTATION(x)  // no-op on GCC and older clang
+#endif
+
+// On the mutex type itself (std types are pre-annotated in libc++; these
+// are for project-defined lockables).
+#define ELREC_CAPABILITY(x) ELREC_THREAD_ANNOTATION(capability(x))
+#define ELREC_SCOPED_CAPABILITY ELREC_THREAD_ANNOTATION(scoped_lockable)
+
+// On data members: which lock protects them.
+#define ELREC_GUARDED_BY(x) ELREC_THREAD_ANNOTATION(guarded_by(x))
+#define ELREC_PT_GUARDED_BY(x) ELREC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// On functions: lock state the caller must / must not hold.
+#define ELREC_REQUIRES(...) \
+  ELREC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ELREC_REQUIRES_SHARED(...) \
+  ELREC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ELREC_EXCLUDES(...) ELREC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ELREC_ACQUIRE(...) \
+  ELREC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ELREC_RELEASE(...) \
+  ELREC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Escape hatch for code the analysis cannot model (keep rare, justify).
+#define ELREC_NO_THREAD_SAFETY_ANALYSIS \
+  ELREC_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace elrec {
 
 class ThreadPool {
@@ -39,10 +41,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  std::deque<std::packaged_task<void()>> tasks_ ELREC_GUARDED_BY(mu_);
+  bool stop_ ELREC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace elrec

@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace elrec::obs {
 
 /// Monotonic event counter. add()/value()/reset() are relaxed atomics:
@@ -138,14 +140,18 @@ class MetricsRegistry {
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
-  void check_kind(const std::string& name, Kind kind) const;
+  void check_kind(const std::string& name, Kind kind) const
+      ELREC_REQUIRES(mu_);
 
   mutable std::mutex mu_;
-  std::map<std::string, Kind> kind_of_;
-  // unique_ptr nodes keep every returned reference stable across rehashes.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, Kind> kind_of_ ELREC_GUARDED_BY(mu_);
+  // unique_ptr nodes keep every returned reference stable across rehashes;
+  // the directory maps are guarded, the pointed-to metrics are lock-free.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      ELREC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ ELREC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      ELREC_GUARDED_BY(mu_);
 };
 
 }  // namespace elrec::obs

@@ -6,6 +6,8 @@
 #include <memory>
 #include <mutex>
 
+#include "common/thread_annotations.hpp"
+
 namespace elrec::obs {
 
 namespace {
@@ -22,7 +24,7 @@ bool env_trace_enabled() {
 // thread and cached in a thread_local raw pointer.
 struct TraceRegistry {
   std::mutex mu;
-  std::vector<std::unique_ptr<ThreadTraceBuffer>> buffers;
+  std::vector<std::unique_ptr<ThreadTraceBuffer>> buffers ELREC_GUARDED_BY(mu);
   std::size_t capacity = 8192;
 
   static TraceRegistry& get() {

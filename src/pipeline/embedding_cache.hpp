@@ -16,6 +16,12 @@
 
 namespace elrec {
 
+// Thread confinement, not locking: the cache is owned by the single worker
+// thread of the pipeline (§V) and is never shared — sync()/insert()/
+// retire_batch() all run on that thread, so it carries no mutex and no
+// ELREC_GUARDED_BY annotations on purpose. Handing it to a second thread
+// is a contract violation that TSan (ctest -L sanitize under
+// ELREC_SANITIZE=thread) would flag as a data race.
 class EmbeddingCache {
  public:
   EmbeddingCache(index_t dim, index_t lc_init);

@@ -7,6 +7,7 @@
 
 #include <mutex>
 
+#include "common/thread_annotations.hpp"
 #include "embed/index_batch.hpp"
 #include "tensor/matrix.hpp"
 
@@ -17,8 +18,14 @@ class HostEmbeddingStore {
   HostEmbeddingStore(index_t num_rows, index_t dim, Prng& rng,
                      float init_std = 0.01f);
 
-  index_t num_rows() const { return weights_.rows(); }
-  index_t dim() const { return weights_.cols(); }
+  // Shape is fixed at construction, so reading it never races with the
+  // guarded element writes; exempt from the lock analysis.
+  index_t num_rows() const ELREC_NO_THREAD_SAFETY_ANALYSIS {
+    return weights_.rows();
+  }
+  index_t dim() const ELREC_NO_THREAD_SAFETY_ANALYSIS {
+    return weights_.cols();
+  }
 
   /// Gathers the given (typically unique) rows into `rows` (one per index).
   void pull(const std::vector<index_t>& indices, Matrix& rows) const;
@@ -33,9 +40,14 @@ class HostEmbeddingStore {
   /// Replaces the full weight matrix (checkpoint resume). Shape must match.
   void load_weights(const Matrix& weights);
 
-  const Matrix& weights() const { return weights_; }
+  /// Lock-free view for quiescent readers only: the checkpoint writer
+  /// calls this after every gradient up to the checkpoint batch has been
+  /// applied and no pull is in flight (pipeline_checkpoint.cpp).
+  const Matrix& weights() const ELREC_NO_THREAD_SAFETY_ANALYSIS {
+    return weights_;
+  }
 
-  std::size_t parameter_bytes() const {
+  std::size_t parameter_bytes() const ELREC_NO_THREAD_SAFETY_ANALYSIS {
     return static_cast<std::size_t>(weights_.size()) * sizeof(float);
   }
 
@@ -43,7 +55,7 @@ class HostEmbeddingStore {
   // The server thread pulls while the store owner may be applying pushed
   // gradients; a mutex keeps the two phases atomic per call.
   mutable std::mutex mu_;
-  Matrix weights_;
+  Matrix weights_ ELREC_GUARDED_BY(mu_);
 };
 
 }  // namespace elrec

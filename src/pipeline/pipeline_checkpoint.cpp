@@ -10,6 +10,9 @@ constexpr char kTag[4] = {'E', 'P', 'C', '1'};
 
 void save_pipeline_checkpoint(const HostEmbeddingStore& store,
                               index_t next_batch, const std::string& path) {
+  // store.weights() is the quiescent-only lock-free view (see its
+  // annotation): the trainers call this only after every gradient up to
+  // `next_batch - 1` has been applied and no pull is in flight.
   write_checkpoint_atomic(path, [&](BinaryWriter& w) {
     w.write_tag(kTag);
     w.write_i64(next_batch);

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "tensor/matrix.hpp"
 
 namespace elrec {
@@ -80,18 +81,21 @@ class ServingCache {
   // Caller must hold the exclusive lock. Returns the slot index the row was
   // placed in, or -1 if admission failed (no free slot and no colder
   // victim). `freq` is the candidate's current frequency.
-  index_t place_locked(index_t row, const float* value, std::uint32_t freq);
+  index_t place_locked(index_t row, const float* value, std::uint32_t freq)
+      ELREC_REQUIRES(mu_);
 
   ServingCacheConfig config_;
   index_t num_rows_ = 0;
   index_t dim_ = 0;
 
   mutable std::shared_mutex mu_;
-  std::unordered_map<index_t, index_t> slot_of_row_;  // row -> slot
-  std::vector<index_t> row_of_slot_;                  // slot -> row (-1 free)
-  Matrix values_;                                     // capacity x dim slab
-  index_t clock_hand_ = 0;
-  index_t resident_ = 0;
+  // row -> slot
+  std::unordered_map<index_t, index_t> slot_of_row_ ELREC_GUARDED_BY(mu_);
+  // slot -> row (-1 free)
+  std::vector<index_t> row_of_slot_ ELREC_GUARDED_BY(mu_);
+  Matrix values_ ELREC_GUARDED_BY(mu_);  // capacity x dim slab
+  index_t clock_hand_ ELREC_GUARDED_BY(mu_) = 0;
+  index_t resident_ ELREC_GUARDED_BY(mu_) = 0;
 
   // Per-row access frequency; relaxed — approximate under contention is
   // fine, admission only needs "requested repeatedly", not exact counts.

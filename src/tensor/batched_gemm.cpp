@@ -21,6 +21,9 @@ void batched_gemm(const BatchedGemmShape& shape,
   TRACE_SPAN("tensor.batched_gemm");
 
   std::size_t executed = 0;
+// `executed` is an integral count — order-free; the float work is
+// per-product, not reduced.
+// NOLINTNEXTLINE(elrec-nondeterministic-reduction)
 #pragma omp parallel for schedule(static) reduction(+ : executed) \
     if (a.size() >= 64)
   for (std::size_t i = 0; i < a.size(); ++i) {

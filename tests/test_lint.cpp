@@ -1,0 +1,441 @@
+// elrec-lint suite: lexer, every shipped rule (positive hit + NOLINT
+// suppression), baseline filtering, registry/reporter round-trips, and the
+// end-to-end driver on a temp tree. Runs under the `lint` ctest label.
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyze/driver.hpp"
+#include "analyze/lexer.hpp"
+#include "obs/json.hpp"
+
+namespace elrec::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Mirrors the driver's per-file pass: run rules, drop NOLINT-suppressed.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source,
+                                 const LintContext& ctx = {}) {
+  static const RuleRegistry registry = RuleRegistry::with_builtin_rules();
+  const SourceFile file = SourceFile::from_source(path, source);
+  std::vector<Finding> kept;
+  for (Finding& f : registry.run(file, ctx)) {
+    if (!file.suppressed(f.rule, f.line)) kept.push_back(std::move(f));
+  }
+  return kept;
+}
+
+std::vector<std::string> rules_of(const std::vector<Finding>& fs) {
+  std::vector<std::string> out;
+  for (const auto& f : fs) out.push_back(f.rule);
+  return out;
+}
+
+// ------------------------------------------------------------- lexer ----
+
+TEST(Lexer, TokenKindsAndPositions) {
+  const TokenStream ts = lex("int x = 42;\nfoo->bar(1'000, \"s\");");
+  ASSERT_GE(ts.size(), 12u);
+  EXPECT_EQ(ts[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(ts[0].text, "int");
+  EXPECT_EQ(ts[0].line, 1u);
+  EXPECT_EQ(ts[0].col, 1u);
+  EXPECT_EQ(ts[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(ts[3].text, "42");
+  // `->` stays one token; the digit separator stays inside the number.
+  EXPECT_EQ(ts[6].text, "->");
+  EXPECT_EQ(ts[6].line, 2u);
+  bool found_number = false, found_string = false;
+  for (const Token& t : ts) {
+    if (t.text == "1'000") found_number = (t.kind == TokenKind::kNumber);
+    if (t.text == "\"s\"") found_string = (t.kind == TokenKind::kString);
+  }
+  EXPECT_TRUE(found_number);
+  EXPECT_TRUE(found_string);
+}
+
+TEST(Lexer, LiteralsAndCommentsAreOpaque) {
+  // rand() inside strings, raw strings, chars and comments must not
+  // surface as identifier tokens.
+  const std::string src =
+      "const char* a = \"rand()\";\n"
+      "const char* b = R\"x(srand(1))x\";\n"
+      "char c = 'r'; // rand() here\n"
+      "/* srand(2) */\n";
+  for (const Token& t : lex(src)) {
+    EXPECT_NE(t.kind, TokenKind::kNumber) << t.text;
+    if (t.kind == TokenKind::kIdentifier) {
+      EXPECT_NE(t.text, "rand");
+      EXPECT_NE(t.text, "srand");
+    }
+  }
+  EXPECT_TRUE(lint_source("src/x.cpp", src).empty());
+}
+
+TEST(Lexer, PreprocessorContinuationIsOneToken) {
+  const TokenStream ts = lex("#pragma omp parallel for \\\n  reduction(+ : s)\nint x;");
+  ASSERT_FALSE(ts.empty());
+  EXPECT_EQ(ts[0].kind, TokenKind::kPpDirective);
+  EXPECT_NE(ts[0].text.find("reduction"), std::string::npos);
+  // `int` after the continuation is normal code again.
+  EXPECT_EQ(ts[1].text, "int");
+}
+
+// -------------------------------------------------------------- rules ----
+
+TEST(DeterminismRand, FlagsLibcRngAndRandomDevice) {
+  const auto fs = lint_source("src/x.cpp",
+                              "int a = rand();\n"
+                              "std::random_device rd;\n"
+                              "srand(42);\n");
+  EXPECT_EQ(fs.size(), 3u);
+  for (const auto& f : fs) EXPECT_EQ(f.rule, "determinism-rand");
+  EXPECT_EQ(fs[0].line, 1u);
+}
+
+TEST(DeterminismRand, MemberAccessAndOtherScopesExempt) {
+  EXPECT_TRUE(lint_source("src/x.cpp",
+                          "int a = prng.rand_r(s);\n"
+                          "int b = gen->rand();\n"
+                          "int c = MyGen::rand_r(s);\n"
+                          "int rand = 3;  // not a call\n")
+                  .empty());
+}
+
+TEST(DeterminismRand, NolintSuppresses) {
+  EXPECT_TRUE(lint_source("src/x.cpp",
+                          "int a = rand();  // NOLINT(elrec-determinism-rand)\n")
+                  .empty());
+  // A bare NOLINT also suppresses; a mismatched tag does not.
+  EXPECT_TRUE(lint_source("src/x.cpp", "int a = rand();  // NOLINT\n").empty());
+  EXPECT_EQ(lint_source("src/x.cpp",
+                        "int a = rand();  // NOLINT(elrec-header-hygiene)\n")
+                .size(),
+            1u);
+}
+
+TEST(NondeterministicReduction, FlagsParallelFloatShapesOnly) {
+  EXPECT_EQ(rules_of(lint_source(
+                "src/x.cpp",
+                "#pragma omp parallel for reduction(+ : acc)\n"
+                "for (int i = 0; i < n; ++i) acc += v[i];\n")),
+            std::vector<std::string>{"nondeterministic-reduction"});
+  EXPECT_EQ(lint_source("src/x.cpp", "#pragma omp atomic\nx += y;\n").size(),
+            1u);
+  // Single-thread SIMD reductions have a fixed lane order: deterministic.
+  EXPECT_TRUE(
+      lint_source("src/x.cpp", "#pragma omp simd reduction(+ : acc)\n")
+          .empty());
+  // min/max are exact in FP regardless of order.
+  EXPECT_TRUE(lint_source("src/x.cpp",
+                          "#pragma omp parallel for reduction(max : m)\n")
+                  .empty());
+}
+
+TEST(NondeterministicReduction, NolintNextlineOnPragma) {
+  EXPECT_TRUE(lint_source(
+                  "src/x.cpp",
+                  "// NOLINTNEXTLINE(elrec-nondeterministic-reduction)\n"
+                  "#pragma omp parallel for reduction(+ : count)\n")
+                  .empty());
+}
+
+TEST(AtomicsOrdering, FlagsDefaultSeqCstRmwAndVolatile) {
+  const auto fs = lint_source("src/x.cpp",
+                              "v.fetch_add(1);\n"
+                              "volatile int flag;\n"
+                              "w.store(1, std::memory_order_seq_cst);\n");
+  EXPECT_EQ(fs.size(), 3u);
+  for (const auto& f : fs) EXPECT_EQ(f.rule, "atomics-ordering");
+}
+
+TEST(AtomicsOrdering, ExplicitOrderOk) {
+  // Including when the order argument lands on a continuation line.
+  EXPECT_TRUE(lint_source("src/x.cpp",
+                          "v.fetch_add(1, std::memory_order_relaxed);\n"
+                          "w.exchange(true,\n"
+                          "           std::memory_order_acq_rel);\n"
+                          "x.load();  // load() alone carries no RMW fence\n")
+                  .empty());
+}
+
+TEST(IostreamInLib, LibraryOnly) {
+  const std::string src = "void f() { printf(\"x\"); std::cerr << 1; }\n";
+  EXPECT_EQ(lint_source("src/foo/bar.cpp", src).size(), 2u);
+  // Same content outside library code is fine.
+  EXPECT_TRUE(lint_source("tools/bar.cpp", src).empty());
+  EXPECT_TRUE(lint_source("bench/bar.cpp", src).empty());
+  EXPECT_TRUE(lint_source("tests/bar.cpp", src).empty());
+  // Buffer formatting is not I/O.
+  EXPECT_TRUE(
+      lint_source("src/x.cpp", "void f() { snprintf(b, 8, \"x\"); }\n")
+          .empty());
+}
+
+TEST(LockDiscipline, FlagsManualLockOnMutexNames) {
+  const auto fs = lint_source("src/x.cpp",
+                              "std::mutex mu_;\n"
+                              "void f() { mu_.lock(); mu_.unlock(); }\n");
+  EXPECT_EQ(fs.size(), 2u);
+  for (const auto& f : fs) EXPECT_EQ(f.rule, "lock-discipline");
+  // Declaration pass catches mutexes with unconventional names too.
+  EXPECT_EQ(lint_source("src/x.cpp",
+                        "std::shared_mutex table_guard;\n"
+                        "void f() { table_guard.lock_shared(); }\n")
+                .size(),
+            1u);
+}
+
+TEST(LockDiscipline, RaiiGuardsOk) {
+  EXPECT_TRUE(lint_source("src/x.cpp",
+                          "std::mutex mu_;\n"
+                          "void f() {\n"
+                          "  std::unique_lock lock(mu_);\n"
+                          "  lock.unlock();  // guard method, not the mutex\n"
+                          "  std::lock_guard g(mu_);\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(HeaderHygiene, PragmaOnceAndUsingNamespace) {
+  EXPECT_EQ(rules_of(lint_source("src/a.hpp", "int f();\n")),
+            std::vector<std::string>{"header-hygiene"});
+  EXPECT_EQ(lint_source("src/a.hpp",
+                        "#pragma once\nusing namespace std;\n")
+                .size(),
+            1u);
+  EXPECT_TRUE(lint_source("src/a.hpp", "#pragma once\nint f();\n").empty());
+  // .cpp files may use-namespace locally and need no pragma.
+  EXPECT_TRUE(lint_source("src/a.cpp", "using namespace std;\n").empty());
+}
+
+TEST(TraceSpanCoverage, ManifestDrivenHits) {
+  LintContext ctx;
+  ctx.trace_manifest = {{"hot.cpp", "run"}};
+  // Covered: definition contains TRACE_SPAN.
+  EXPECT_TRUE(lint_source("src/hot.cpp",
+                          "void Foo::run(int n) {\n"
+                          "  TRACE_SPAN(\"foo.run\");\n"
+                          "}\n",
+                          ctx)
+                  .empty());
+  // Uncovered definition is a finding at the definition line.
+  const auto missing = lint_source("src/hot.cpp",
+                                   "void Foo::run(int n) { work(n); }\n", ctx);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].rule, "trace-span-coverage");
+  EXPECT_EQ(missing[0].line, 1u);
+  // A call site is not a definition: the manifest entry must fail loudly.
+  const auto drift =
+      lint_source("src/hot.cpp", "void g() { if (run(3)) { stop(); } }\n", ctx);
+  ASSERT_EQ(drift.size(), 1u);
+  EXPECT_NE(drift[0].message.find("no definition"), std::string::npos);
+  // Files not named by the manifest are untouched.
+  EXPECT_TRUE(lint_source("src/cold.cpp", "void run(int) {}\n", ctx).empty());
+}
+
+// ------------------------------------------------- baseline & reports ----
+
+Finding finding_fixture(std::string rule, std::string path, std::size_t line,
+                        std::string snippet) {
+  Finding f;
+  f.rule = std::move(rule);
+  f.path = std::move(path);
+  f.line = line;
+  f.col = 1;
+  f.message = "msg";
+  f.snippet = std::move(snippet);
+  return f;
+}
+
+TEST(Baseline, RoundTripAndContentMatch) {
+  const std::vector<Finding> fs = {
+      finding_fixture("atomics-ordering", "src/a.cpp", 10, "v.fetch_add(1);"),
+      finding_fixture("iostream-in-lib", "src/b.cpp", 3, "printf(\"x\");")};
+  const Baseline b = Baseline::from_findings(fs);
+  EXPECT_EQ(b.size(), 2u);
+
+  const fs::path file = fs::path(testing::TempDir()) / "elrec_baseline.txt";
+  {
+    std::ofstream out(file);
+    out << b.serialize();
+  }
+  const Baseline loaded = Baseline::load(file.string());
+  EXPECT_EQ(loaded.size(), 2u);
+
+  // Same rule/path/snippet on a different line still matches (content
+  // identity, not position)...
+  Finding moved = fs[0];
+  moved.line = 99;
+  EXPECT_TRUE(loaded.contains(moved));
+  // ...but a different snippet or file does not.
+  Finding edited = fs[0];
+  edited.snippet = "v.fetch_add(2);";
+  EXPECT_FALSE(loaded.contains(edited));
+
+  const BaselineSplit split = apply_baseline(loaded, {moved, edited});
+  EXPECT_EQ(split.baselined, 1u);
+  ASSERT_EQ(split.fresh.size(), 1u);
+  EXPECT_EQ(split.fresh[0].snippet, "v.fetch_add(2);");
+  fs::remove(file);
+}
+
+TEST(Baseline, MissingFileIsEmptyAndMalformedThrows) {
+  EXPECT_EQ(Baseline::load("/nonexistent/elrec.txt").size(), 0u);
+  const fs::path file = fs::path(testing::TempDir()) / "elrec_bad_base.txt";
+  {
+    std::ofstream out(file);
+    out << "just-one-field\n";
+  }
+  EXPECT_THROW(Baseline::load(file.string()), std::runtime_error);
+  fs::remove(file);
+}
+
+TEST(Reporter, TextFormat) {
+  LintSummary sum;
+  sum.files_scanned = 2;
+  sum.findings = 1;
+  sum.suppressed = 3;
+  const std::string text = report_text(
+      {finding_fixture("determinism-rand", "src/a.cpp", 7, "rand();")}, sum);
+  EXPECT_NE(text.find("src/a.cpp:7:1: [elrec-determinism-rand]"),
+            std::string::npos);
+  EXPECT_NE(text.find("1 finding(s) across 2 file(s)"), std::string::npos);
+  EXPECT_NE(text.find("3 NOLINT-suppressed"), std::string::npos);
+}
+
+TEST(Reporter, JsonParsesAndCarriesFields) {
+  LintSummary sum;
+  sum.files_scanned = 1;
+  sum.findings = 1;
+  sum.baselined = 2;
+  // Snippet with characters that must be escaped.
+  const std::string json = report_json(
+      {finding_fixture("iostream-in-lib", "src/a.cpp", 4,
+                       "printf(\"tab\\there\");")},
+      sum);
+  obs::JsonValue doc;
+  ASSERT_EQ(obs::parse_json(json, doc), "") << json;
+  const obs::JsonValue* findings = doc.find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_TRUE(findings->is_array());
+  ASSERT_EQ(findings->array.size(), 1u);
+  EXPECT_EQ(findings->array[0].find("rule")->str, "elrec-iostream-in-lib");
+  EXPECT_EQ(findings->array[0].find("line")->number, 4.0);
+  const obs::JsonValue* summary = doc.find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->find("baselined")->number, 2.0);
+}
+
+// ----------------------------------------------- registry and driver ----
+
+TEST(Registry, BuiltinCatalogue) {
+  const RuleRegistry r = RuleRegistry::with_builtin_rules();
+  EXPECT_EQ(r.rules().size(), 7u);
+  for (const char* name :
+       {"determinism-rand", "nondeterministic-reduction", "atomics-ordering",
+        "iostream-in-lib", "lock-discipline", "header-hygiene",
+        "trace-span-coverage"}) {
+    EXPECT_NE(r.find(name), nullptr) << name;
+    EXPECT_FALSE(r.find(name)->description().empty());
+  }
+  EXPECT_EQ(r.find("no-such-rule"), nullptr);
+}
+
+TEST(Registry, OnlyFilterRestrictsRules) {
+  const RuleRegistry r = RuleRegistry::with_builtin_rules();
+  const SourceFile file = SourceFile::from_source(
+      "src/x.cpp", "int a = rand();\nvolatile int b;\n");
+  EXPECT_EQ(r.run(file, {}).size(), 2u);
+  const auto only = r.run(file, {}, {"atomics-ordering"});
+  ASSERT_EQ(only.size(), 1u);
+  EXPECT_EQ(only[0].rule, "atomics-ordering");
+}
+
+class DriverFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(testing::TempDir()) /
+            ("elrec_lint_" + std::to_string(::getpid()));
+    fs::create_directories(root_ / "src");
+    fs::create_directories(root_ / "build-something" / "src");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const fs::path& rel, const std::string& content) {
+    std::ofstream out(root_ / rel);
+    out << content;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(DriverFixture, EndToEndWithNolintAndBaseline) {
+  write("src/bad.cpp",
+        "int a = rand();\n"
+        "int b = rand();  // NOLINT(elrec-determinism-rand): test fixture\n"
+        "volatile int c;\n");
+  // Generated/build trees must never be walked.
+  write("build-something/src/worse.cpp", "int z = rand();\n");
+
+  const RuleRegistry registry = RuleRegistry::with_builtin_rules();
+  LintOptions opt;
+  opt.paths = {(root_ / "src").string()};
+
+  // First pass: the NOLINT line is suppressed, two findings remain.
+  LintResult r1 = run_lint(registry, opt);
+  EXPECT_EQ(r1.summary.files_scanned, 1u);
+  EXPECT_EQ(r1.summary.suppressed, 1u);
+  ASSERT_EQ(r1.fresh.size(), 2u);
+
+  // Baseline the volatile finding only; the rand() stays fresh.
+  const fs::path base = root_ / "baseline.txt";
+  {
+    std::ofstream out(base);
+    out << Baseline::from_findings({r1.fresh[1]}).serialize();
+  }
+  opt.baseline_path = base.string();
+  LintResult r2 = run_lint(registry, opt);
+  EXPECT_EQ(r2.summary.baselined, 1u);
+  ASSERT_EQ(r2.fresh.size(), 1u);
+  EXPECT_EQ(r2.fresh[0].rule, "determinism-rand");
+  EXPECT_EQ(r2.fresh[0].line, 1u);
+}
+
+TEST_F(DriverFixture, CollectSourcesFiltersAndSorts) {
+  write("src/a.cpp", "int x;\n");
+  write("src/z.hpp", "#pragma once\n");
+  write("src/notes.md", "not code\n");
+  const auto files = collect_sources({root_.string()});
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_TRUE(files[0].ends_with("src/a.cpp"));
+  EXPECT_TRUE(files[1].ends_with("src/z.hpp"));
+  EXPECT_THROW(collect_sources({(root_ / "missing").string()}),
+               std::runtime_error);
+}
+
+TEST_F(DriverFixture, TraceManifestParsing) {
+  write("spans.manifest",
+        "# comment line\n"
+        "\n"
+        "core/eff_tt_table.cpp forward   # trailing comment\n"
+        "serve/request_scheduler.cpp worker_loop\n");
+  const auto reqs = load_trace_manifest((root_ / "spans.manifest").string());
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].file_suffix, "core/eff_tt_table.cpp");
+  EXPECT_EQ(reqs[0].function, "forward");
+
+  write("bad.manifest", "only-one-field\n");
+  EXPECT_THROW(load_trace_manifest((root_ / "bad.manifest").string()),
+               std::runtime_error);
+  EXPECT_THROW(load_trace_manifest((root_ / "absent.manifest").string()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace elrec::analyze

@@ -1,0 +1,142 @@
+// elrec_lint — project-invariant static analysis for the EL-Rec tree.
+//
+//   tools/elrec_lint [options] <path>...        (paths: files or dirs)
+//
+// Options:
+//   --format text|json        report style (default text)
+//   --baseline FILE           findings baseline (default
+//                             tools/elrec_lint_baseline.txt if it exists)
+//   --write-baseline          rewrite the baseline to absorb every current
+//                             finding, then exit 0
+//   --trace-manifest FILE     TRACE_SPAN coverage manifest (default
+//                             tools/trace_spans.manifest if it exists)
+//   --rule NAME               run only this rule (repeatable)
+//   --list-rules              print the rule catalogue and exit
+//
+// Exit status: 0 = clean, 1 = new findings, 2 = usage/configuration error.
+//
+// Defaults resolve relative to the current directory, so run it from the
+// repo root: `tools/elrec_lint src/` (or via `ctest -L lint`).
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analyze/driver.hpp"
+
+namespace {
+
+constexpr const char* kDefaultBaseline = "tools/elrec_lint_baseline.txt";
+constexpr const char* kDefaultManifest = "tools/trace_spans.manifest";
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--format text|json] [--baseline FILE] "
+               "[--write-baseline]\n"
+               "       [--trace-manifest FILE] [--rule NAME]... "
+               "[--list-rules] <path>...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace elrec::analyze;
+
+  LintOptions opt;
+  std::string format = "text";
+  bool write_baseline = false;
+  bool baseline_set = false;
+  bool manifest_set = false;
+
+  const RuleRegistry registry = RuleRegistry::with_builtin_rules();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--format") {
+      const char* v = next();
+      if (v == nullptr || (std::string(v) != "text" && std::string(v) != "json"))
+        return usage(argv[0]);
+      format = v;
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.baseline_path = v;
+      baseline_set = true;
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--trace-manifest") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.trace_manifest_path = v;
+      manifest_set = true;
+    } else if (arg == "--rule") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      if (registry.find(v) == nullptr) {
+        std::fprintf(stderr, "elrec_lint: unknown rule '%s' (--list-rules)\n",
+                     v);
+        return 2;
+      }
+      opt.only_rules.emplace_back(v);
+    } else if (arg == "--list-rules") {
+      for (const auto& r : registry.rules()) {
+        std::printf("elrec-%-28s %s\n", std::string(r->name()).c_str(),
+                    std::string(r->description()).c_str());
+      }
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+  if (opt.paths.empty()) return usage(argv[0]);
+
+  // Soft defaults: picked up only when present, so the bare invocation
+  // `tools/elrec_lint src/` works from the repo root and the tool still
+  // runs anywhere else.
+  if (!baseline_set && std::filesystem::exists(kDefaultBaseline)) {
+    opt.baseline_path = kDefaultBaseline;
+  }
+  if (!manifest_set && std::filesystem::exists(kDefaultManifest)) {
+    opt.trace_manifest_path = kDefaultManifest;
+  }
+
+  try {
+    if (write_baseline) {
+      // Baseline everything currently fresh (NOLINT suppressions stay
+      // honored — a suppressed finding needs no baseline entry).
+      LintOptions all = opt;
+      all.baseline_path.clear();
+      const LintResult result = run_lint(registry, all);
+      const std::string path =
+          opt.baseline_path.empty() ? kDefaultBaseline : opt.baseline_path;
+      std::ofstream out(path);
+      out << Baseline::from_findings(result.fresh).serialize();
+      if (!out.good()) {
+        std::fprintf(stderr, "elrec_lint: cannot write %s\n", path.c_str());
+        return 2;
+      }
+      std::printf("elrec_lint: baselined %zu finding(s) into %s\n",
+                  result.fresh.size(), path.c_str());
+      return 0;
+    }
+
+    const LintResult result = run_lint(registry, opt);
+    const std::string report = format == "json"
+                                   ? report_json(result.fresh, result.summary)
+                                   : report_text(result.fresh, result.summary);
+    std::fputs(report.c_str(), stdout);
+    return result.fresh.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "elrec_lint: %s\n", e.what());
+    return 2;
+  }
+}
