@@ -12,6 +12,10 @@
 #                                    # sanitize-labelled suites rebuilt under
 #                                    # TSan, ASan and UBSan (build-tsan/,
 #                                    # build-asan/, build-ubsan/)
+#   scripts/check.sh --shard         # sharded-serving smoke: 3 shards +
+#                                    # failover router, 5k requests, one
+#                                    # injected kill mid-stream, then the
+#                                    # sanitize-labelled shard/router suites
 #   BUILD_DIR=build-tsan scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -69,6 +73,23 @@ if [[ "$MODE" == "--analyze" ]]; then
   done
 
   echo "analyze matrix OK (lint + TSan + ASan + UBSan)"
+  exit 0
+fi
+
+if [[ "$MODE" == "--shard" ]]; then
+  echo "== sharded serving smoke: 3 shards + failover router, one kill =="
+  # shard_demo --smoke routes 5k requests through the scatter/gather tier,
+  # kills a shard mid-stream, and exits non-zero unless every accepted
+  # request is answered and the revived shard rejoins. ELREC_FAULT_SITES
+  # additionally sprinkles retryable faults over the serve path to exercise
+  # the env-var fault configuration end to end.
+  ELREC_FAULT_SITES='shard.serve:0.02:transient' \
+    "$BUILD_DIR/examples/shard_demo" --smoke
+
+  echo "== sanitize-labelled shard/router suites =="
+  ctest --test-dir "$BUILD_DIR" -L sanitize -R 'HashRing|Placement|MergeHotRows|Shard' \
+    --output-on-failure -j"$JOBS"
+  echo "shard smoke OK"
   exit 0
 fi
 

@@ -1,6 +1,8 @@
 #include "common/fault_injector.hpp"
 
+#include <cstdlib>
 #include <thread>
+#include <vector>
 
 namespace elrec {
 
@@ -9,6 +11,116 @@ std::atomic<bool> FaultInjector::any_armed_{false};
 FaultInjector& FaultInjector::instance() {
   static FaultInjector injector;
   return injector;
+}
+
+namespace {
+
+// Applies ELREC_FAULT_SITES before main() so env-armed sites fire in any
+// binary, whether or not its code ever touches the injector explicitly. A
+// malformed value must not abort static init — it is stashed for
+// env_config_error() (tests assert on it; harnesses check it at start-up).
+struct EnvConfigApplier {
+  EnvConfigApplier() {
+    try {
+      FaultInjector::instance().arm_from_env();
+    } catch (...) {
+      // arm_from_env records the parse error itself; nothing else to do.
+    }
+  }
+};
+const EnvConfigApplier g_env_config_applier;
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t at = s.find(sep, start);
+    if (at == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, at - start));
+    start = at + 1;
+  }
+}
+
+double parse_number(const std::string& text, const std::string& entry) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  ELREC_CHECK(used == text.size() && !text.empty(),
+              "ELREC_FAULT_SITES: bad number '" + text + "' in '" + entry +
+                  "'");
+  return v;
+}
+
+}  // namespace
+
+std::size_t FaultInjector::arm_from_string(const std::string& config) {
+  std::size_t armed = 0;
+  for (const std::string& entry : split(config, ',')) {
+    if (entry.empty()) continue;
+    const std::vector<std::string> fields = split(entry, ':');
+    ELREC_CHECK(fields.size() >= 2 && fields.size() <= 4 &&
+                    !fields[0].empty(),
+                "ELREC_FAULT_SITES entry must be "
+                "'site:prob[:kind[:param]]', got '" +
+                    entry + "'");
+    FaultSpec spec;
+    spec.probability = parse_number(fields[1], entry);
+    ELREC_CHECK(spec.probability >= 0.0 && spec.probability <= 1.0,
+                "ELREC_FAULT_SITES: probability outside [0,1] in '" + entry +
+                    "'");
+    const std::string kind = fields.size() >= 3 ? fields[2] : "error";
+    if (kind == "error") {
+      spec.kind = FaultKind::kError;
+    } else if (kind == "transient") {
+      spec.kind = FaultKind::kTransient;
+    } else if (kind == "delay") {
+      spec.kind = FaultKind::kDelay;
+    } else {
+      ELREC_CHECK(false, "ELREC_FAULT_SITES: unknown kind '" + kind +
+                             "' in '" + entry +
+                             "' (want error|transient|delay)");
+    }
+    if (fields.size() == 4) {
+      const double param = parse_number(fields[3], entry);
+      ELREC_CHECK(param >= 0.0, "ELREC_FAULT_SITES: negative param in '" +
+                                    entry + "'");
+      if (spec.kind == FaultKind::kDelay) {
+        spec.delay = std::chrono::milliseconds(static_cast<long long>(param));
+      } else {
+        spec.max_fires = static_cast<std::uint64_t>(param);
+      }
+    }
+    spec.message = "armed via ELREC_FAULT_SITES";
+    arm(fields[0], spec);
+    ++armed;
+  }
+  return armed;
+}
+
+std::size_t FaultInjector::arm_from_env() {
+  const char* value = std::getenv("ELREC_FAULT_SITES");
+  if (value == nullptr || *value == '\0') return 0;
+  try {
+    return arm_from_string(value);
+  } catch (const Error& e) {
+    {
+      std::lock_guard lock(mu_);
+      env_error_ = e.what();
+    }
+    throw;
+  }
+}
+
+std::string FaultInjector::env_config_error() const {
+  std::lock_guard lock(mu_);
+  return env_error_;
 }
 
 void FaultInjector::arm(const std::string& site, FaultSpec spec) {

@@ -47,9 +47,32 @@ struct FaultSpec {
 
 /// Singleton registry of armed fault sites. Thread-safe; all methods may be
 /// called concurrently with fault points executing on other threads.
+///
+/// Sites can also be armed without recompiling through the ELREC_FAULT_SITES
+/// environment variable, applied once at process start-up (see
+/// arm_from_env). Integration harnesses use this to inject shard crashes or
+/// transient lookup faults into an unmodified binary:
+///   ELREC_FAULT_SITES='shard.crash:0.001:error:1,shard.serve:0.02:transient'
 class FaultInjector {
  public:
   static FaultInjector& instance();
+
+  /// Arms every site in a comma-separated spec list. Entry grammar:
+  ///   site:probability[:kind[:param]]
+  /// with kind one of error | transient | delay (default error). For delay,
+  /// param is the stall in milliseconds; for error/transient it caps
+  /// max_fires. Returns the number of sites armed; throws Error on a
+  /// malformed entry (probability outside [0,1], unknown kind, bad number).
+  std::size_t arm_from_string(const std::string& config);
+
+  /// arm_from_string(getenv("ELREC_FAULT_SITES")) when the variable is set
+  /// and non-empty; returns 0 otherwise. Run automatically once at start-up
+  /// (before main) so any binary honors the variable; a malformed value is
+  /// recorded in env_config_error() instead of aborting static init.
+  std::size_t arm_from_env();
+
+  /// Non-empty when the start-up ELREC_FAULT_SITES parse failed.
+  std::string env_config_error() const;
 
   /// Fast-path gate read by every fault point.
   static bool armed_anywhere() {
@@ -93,6 +116,7 @@ class FaultInjector {
   std::condition_variable delay_cv_;
   std::uint64_t cancel_epoch_ = 0;  // bumped to wake stalled delays
   std::unordered_map<std::string, SiteState> sites_;
+  std::string env_error_;  // guarded by mu_; set once at start-up
 };
 
 }  // namespace elrec

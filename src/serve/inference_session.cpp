@@ -38,6 +38,53 @@ void InferenceSession::predict(const MiniBatch& batch,
       });
 }
 
+void InferenceSession::resolve_rows(index_t t, const std::vector<index_t>& rows,
+                                    Matrix& values, ILookupContext* ctx,
+                                    WorkerState& state) const {
+  const IEmbeddingTable& table = model_->table(t);
+  ServingCache* cache = caches_[static_cast<std::size_t>(t)].get();
+  const index_t d = table.dim();
+  values.resize(static_cast<index_t>(rows.size()), d);
+  if (cache == nullptr) {
+    // Bag-of-one batches make lookup() return each row verbatim (sum
+    // pooling over a single index is the identity).
+    table.lookup(IndexBatch::one_per_sample(rows), values, ctx);
+    return;
+  }
+  cache->probe(rows, values, state.hit);
+
+  state.miss_rows.clear();
+  state.miss_pos.clear();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (!state.hit[i]) {
+      state.miss_rows.push_back(rows[i]);
+      state.miss_pos.push_back(static_cast<index_t>(i));
+    }
+  }
+  if (!state.miss_rows.empty()) {
+    // Cached copies stay bitwise equal to freshly computed rows: both come
+    // out of the same frozen lookup() path.
+    table.lookup(IndexBatch::one_per_sample(state.miss_rows), state.miss_vals,
+                 ctx);
+    for (std::size_t i = 0; i < state.miss_rows.size(); ++i) {
+      std::memcpy(values.row(state.miss_pos[i]),
+                  state.miss_vals.row(static_cast<index_t>(i)),
+                  sizeof(float) * static_cast<std::size_t>(d));
+    }
+    cache->admit(state.miss_rows, state.miss_vals);
+  }
+}
+
+void InferenceSession::materialize_rows(index_t t,
+                                        const std::vector<index_t>& rows,
+                                        Matrix& values,
+                                        WorkerState& state) const {
+  ELREC_CHECK(t >= 0 && t < model_->num_tables(),
+              "materialize_rows: table out of range");
+  resolve_rows(t, rows, values,
+               state.ws.table_ctx[static_cast<std::size_t>(t)].get(), state);
+}
+
 void InferenceSession::cached_table_lookup(index_t t, const IndexBatch& batch,
                                            Matrix& out, ILookupContext* ctx,
                                            WorkerState& state) const {
@@ -52,31 +99,7 @@ void InferenceSession::cached_table_lookup(index_t t, const IndexBatch& batch,
   // Resolve each unique row once: probe the cache, compute only the misses
   // through the table's frozen path.
   state.unique = build_unique_index_map(batch.indices);
-  const auto& unique = state.unique.unique;
-  state.unique_vals.resize(static_cast<index_t>(unique.size()), d);
-  cache->probe(unique, state.unique_vals, state.hit);
-
-  state.miss_rows.clear();
-  state.miss_pos.clear();
-  for (std::size_t i = 0; i < unique.size(); ++i) {
-    if (!state.hit[i]) {
-      state.miss_rows.push_back(unique[i]);
-      state.miss_pos.push_back(static_cast<index_t>(i));
-    }
-  }
-  if (!state.miss_rows.empty()) {
-    // Bag-of-one batches make lookup() return each row verbatim (sum
-    // pooling over a single index is the identity), so cached copies stay
-    // bitwise equal to freshly computed rows.
-    table.lookup(IndexBatch::one_per_sample(state.miss_rows), state.miss_vals,
-                 ctx);
-    for (std::size_t i = 0; i < state.miss_rows.size(); ++i) {
-      std::memcpy(state.unique_vals.row(state.miss_pos[i]),
-                  state.miss_vals.row(static_cast<index_t>(i)),
-                  sizeof(float) * static_cast<std::size_t>(d));
-    }
-    cache->admit(state.miss_rows, state.miss_vals);
-  }
+  resolve_rows(t, state.unique.unique, state.unique_vals, ctx, state);
 
   // Sum-pool the resolved unique rows back into per-bag embeddings, in bag
   // position order — the same order forward()/lookup() pool in, so the

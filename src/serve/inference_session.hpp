@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dlrm/dlrm_model.hpp"
+#include "serve/ranking_backend.hpp"
 #include "serve/serving_cache.hpp"
 
 namespace elrec {
@@ -28,11 +29,11 @@ struct InferenceSessionConfig {
   ServingCacheConfig cache;
 };
 
-class InferenceSession {
+class InferenceSession : public IRankingBackend {
  public:
   /// Per-worker mutable state: the model workspace plus the cache-path
   /// scratch. One per concurrent caller of predict(); never share.
-  struct WorkerState {
+  struct WorkerState : IRankingBackend::State {
     DlrmInferenceWorkspace ws;
     // Cache-path scratch (per table call, reused across tables/requests).
     UniqueIndexMap unique;
@@ -47,16 +48,36 @@ class InferenceSession {
                             InferenceSessionConfig config = {});
 
   const DlrmModel& model() const { return *model_; }
-  index_t num_tables() const { return model_->num_tables(); }
-  index_t num_dense() const { return model_->config().num_dense; }
+  index_t num_tables() const override { return model_->num_tables(); }
+  index_t num_dense() const override { return model_->config().num_dense; }
 
   std::unique_ptr<WorkerState> make_worker_state() const;
+
+  /// IRankingBackend: make_worker_state() behind the scheduler-facing seam.
+  std::unique_ptr<IRankingBackend::State> make_state() const override {
+    return make_worker_state();
+  }
 
   /// Frozen forward + sigmoid for a batch of requests. Thread-safe across
   /// callers as long as each passes its own WorkerState. labels may be
   /// empty.
   void predict(const MiniBatch& batch, std::vector<float>& probs,
                WorkerState& state) const;
+
+  /// IRankingBackend entry: `state` must come from this session's
+  /// make_state().
+  void predict(const MiniBatch& batch, std::vector<float>& probs,
+               IRankingBackend::State& state) const override {
+    predict(batch, probs, static_cast<WorkerState&>(state));
+  }
+
+  /// Materializes individual rows of table `t` through the same cache-aware
+  /// frozen path predict() uses: cache probe first, misses computed by the
+  /// table's lookup() and offered for admission. values.row(i) receives
+  /// rows[i]; bitwise equal to an uncached lookup of the same rows. This is
+  /// the shard server's row-serving entry point.
+  void materialize_rows(index_t t, const std::vector<index_t>& rows,
+                        Matrix& values, WorkerState& state) const;
 
   /// Seeds table `t`'s cache with the given hot rows (e.g. from
   /// data/stats top_accessed_indices), materializing them through the
@@ -79,6 +100,13 @@ class InferenceSession {
  private:
   void cached_table_lookup(index_t t, const IndexBatch& batch, Matrix& out,
                            ILookupContext* ctx, WorkerState& state) const;
+
+  // Fills values.row(i) with rows[i] via cache probe + frozen lookup of the
+  // misses (+ admission). Shared by cached_table_lookup (unique rows) and
+  // materialize_rows.
+  void resolve_rows(index_t t, const std::vector<index_t>& rows,
+                    Matrix& values, ILookupContext* ctx,
+                    WorkerState& state) const;
 
   std::unique_ptr<DlrmModel> model_;
   InferenceSessionConfig config_;

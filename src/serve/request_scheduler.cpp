@@ -16,9 +16,9 @@ double micros_between(Clock::time_point from, Clock::time_point to) {
 }
 }  // namespace
 
-RequestScheduler::RequestScheduler(const InferenceSession& session,
+RequestScheduler::RequestScheduler(const IRankingBackend& backend,
                                    RequestSchedulerConfig config)
-    : session_(session), config_(config), queue_(config.queue_capacity) {
+    : backend_(backend), config_(config), queue_(config.queue_capacity) {
   ELREC_CHECK(config_.num_workers > 0, "need at least one worker");
   ELREC_CHECK(config_.max_batch > 0, "micro-batch cap must be positive");
   ELREC_CHECK(config_.max_wait_us >= 0, "coalescing window must be >= 0");
@@ -40,10 +40,10 @@ RequestScheduler::~RequestScheduler() {
 
 SubmitStatus RequestScheduler::submit(RankingRequest req,
                                       std::future<RankingResponse>& response) {
-  ELREC_CHECK(static_cast<index_t>(req.dense.size()) == session_.num_dense(),
+  ELREC_CHECK(static_cast<index_t>(req.dense.size()) == backend_.num_dense(),
               "request dense width must match the model");
   ELREC_CHECK(static_cast<index_t>(req.sparse.size()) ==
-                  session_.num_tables(),
+                  backend_.num_tables(),
               "request must carry one index bag per embedding table");
   if (shut_down_.load(std::memory_order_acquire)) return SubmitStatus::kClosed;
 
@@ -83,11 +83,11 @@ RankingResponse RequestScheduler::submit_blocking(RankingRequest req) {
 }
 
 void RequestScheduler::worker_loop() {
-  auto state = session_.make_worker_state();
+  auto state = backend_.make_state();
   std::vector<Pending> batch;
   std::vector<float> probs;
   MiniBatch mb;
-  mb.sparse.resize(static_cast<std::size_t>(session_.num_tables()));
+  mb.sparse.resize(static_cast<std::size_t>(backend_.num_tables()));
 
   for (;;) {
     auto first = queue_.pop();
@@ -121,7 +121,7 @@ void RequestScheduler::worker_loop() {
 }
 
 void RequestScheduler::serve_batch(std::vector<Pending>& batch,
-                                   InferenceSession::WorkerState& state,
+                                   IRankingBackend::State& state,
                                    std::vector<float>& probs, MiniBatch& mb) {
   TRACE_SPAN("serve.compute");
   // Per-scheduler latency_ keeps exact per-instance counts; these registry
@@ -132,7 +132,7 @@ void RequestScheduler::serve_batch(std::vector<Pending>& batch,
       obs::MetricsRegistry::global().histogram("serve.compute_us");
   const auto compute_start = Clock::now();
   const auto b = static_cast<index_t>(batch.size());
-  const index_t num_dense = session_.num_dense();
+  const index_t num_dense = backend_.num_dense();
 
   mb.dense.resize(b, num_dense);
   for (index_t i = 0; i < b; ++i) {
@@ -153,7 +153,7 @@ void RequestScheduler::serve_batch(std::vector<Pending>& batch,
 
   try {
     const ScopedBatchedGemmCounters gemm_scope;
-    session_.predict(mb, probs, state);
+    backend_.predict(mb, probs, state);
     const auto compute_end = Clock::now();
     const double compute_us = micros_between(compute_start, compute_end);
     const std::size_t products = gemm_scope.delta().products;

@@ -23,8 +23,8 @@
 
 #include "common/blocking_queue.hpp"
 #include "common/thread_pool.hpp"
-#include "serve/inference_session.hpp"
 #include "serve/latency.hpp"
+#include "serve/ranking_backend.hpp"
 
 namespace elrec {
 
@@ -64,8 +64,9 @@ struct RequestSchedulerConfig {
 
 class RequestScheduler {
  public:
-  /// The session must outlive the scheduler. Workers start immediately.
-  RequestScheduler(const InferenceSession& session,
+  /// The backend (an InferenceSession, a ShardRouter, ...) must outlive the
+  /// scheduler. Workers start immediately.
+  RequestScheduler(const IRankingBackend& backend,
                    RequestSchedulerConfig config);
   ~RequestScheduler();
 
@@ -104,11 +105,10 @@ class RequestScheduler {
   };
 
   void worker_loop();
-  void serve_batch(std::vector<Pending>& batch,
-                   InferenceSession::WorkerState& state,
+  void serve_batch(std::vector<Pending>& batch, IRankingBackend::State& state,
                    std::vector<float>& probs, MiniBatch& mb);
 
-  const InferenceSession& session_;
+  const IRankingBackend& backend_;
   RequestSchedulerConfig config_;
   BlockingQueue<Pending> queue_;
   LatencyRecorder latency_;

@@ -1,0 +1,74 @@
+#include "shard/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+namespace {
+
+// splitmix64 finalizer: the same mixer the fault injector uses, good enough
+// dispersion that 64 vnodes/shard keep ownership within a few percent of
+// uniform.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t key_hash(index_t table, index_t row) {
+  return mix64(mix64(static_cast<std::uint64_t>(table)) ^
+               static_cast<std::uint64_t>(row));
+}
+
+}  // namespace
+
+HashRing::HashRing(int num_shards, int vnodes_per_shard, std::uint64_t seed)
+    : num_shards_(num_shards) {
+  ELREC_CHECK(num_shards > 0, "ring needs at least one shard");
+  ELREC_CHECK(vnodes_per_shard > 0, "ring needs at least one vnode/shard");
+  ring_.reserve(static_cast<std::size_t>(num_shards) *
+                static_cast<std::size_t>(vnodes_per_shard));
+  for (int s = 0; s < num_shards; ++s) {
+    for (int v = 0; v < vnodes_per_shard; ++v) {
+      const std::uint64_t pos =
+          mix64(seed ^ mix64((static_cast<std::uint64_t>(s) << 20) +
+                             static_cast<std::uint64_t>(v)));
+      ring_.push_back({pos, s});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const VNode& a, const VNode& b) {
+    return a.pos != b.pos ? a.pos < b.pos : a.shard < b.shard;
+  });
+}
+
+std::size_t HashRing::first_vnode_at_or_after(std::uint64_t h) const {
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const VNode& v, std::uint64_t key) { return v.pos < key; });
+  return it == ring_.end() ? 0 : static_cast<std::size_t>(it - ring_.begin());
+}
+
+int HashRing::owner_of(index_t table, index_t row) const {
+  return ring_[first_vnode_at_or_after(key_hash(table, row))].shard;
+}
+
+void HashRing::owners_of(index_t table, index_t row, int count,
+                         std::vector<int>& out) const {
+  out.clear();
+  count = std::min(count, num_shards_);
+  if (count <= 0) return;
+  std::size_t i = first_vnode_at_or_after(key_hash(table, row));
+  for (std::size_t walked = 0;
+       walked < ring_.size() && static_cast<int>(out.size()) < count;
+       ++walked, i = (i + 1) % ring_.size()) {
+    const int shard = ring_[i].shard;
+    if (std::find(out.begin(), out.end(), shard) == out.end()) {
+      out.push_back(shard);
+    }
+  }
+}
+
+}  // namespace elrec

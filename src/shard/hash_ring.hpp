@@ -1,0 +1,50 @@
+// Consistent-hash ring over (table, row) keys.
+//
+// Each shard contributes `vnodes_per_shard` virtual nodes at pseudo-random
+// positions on a 64-bit ring; a key is owned by the shard of the first
+// vnode at or after the key's hash. Virtual nodes keep per-shard load
+// within a few percent of uniform, and — the property the failover ladder
+// relies on — removing one shard only reassigns the keys it owned, to the
+// next distinct shards on the ring, instead of reshuffling everything.
+//
+// The ring is deterministic in (num_shards, vnodes_per_shard, seed): every
+// router and placement planner built with the same parameters agrees on
+// ownership without any coordination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"  // index_t
+
+namespace elrec {
+
+class HashRing {
+ public:
+  explicit HashRing(int num_shards, int vnodes_per_shard = 64,
+                    std::uint64_t seed = 0x5ec7a11dULL);
+
+  int num_shards() const { return num_shards_; }
+
+  /// The shard owning (table, row).
+  int owner_of(index_t table, index_t row) const;
+
+  /// The first `count` distinct shards met walking the ring from the key's
+  /// position: owner first, then its failover replicas in ladder order.
+  /// `count` is clamped to num_shards(). out is overwritten.
+  void owners_of(index_t table, index_t row, int count,
+                 std::vector<int>& out) const;
+
+ private:
+  struct VNode {
+    std::uint64_t pos;
+    int shard;
+  };
+
+  std::size_t first_vnode_at_or_after(std::uint64_t h) const;
+
+  int num_shards_;
+  std::vector<VNode> ring_;  // sorted by pos
+};
+
+}  // namespace elrec

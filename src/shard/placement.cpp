@@ -1,0 +1,68 @@
+#include "shard/placement.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace elrec {
+
+PlacementPlan plan_placement(
+    const HashRing& ring,
+    const std::vector<std::vector<index_t>>& hot_rows_per_table,
+    const PlacementConfig& config) {
+  ELREC_CHECK(config.replication >= 1, "placement needs replication >= 1");
+  const int num_shards = ring.num_shards();
+  const std::size_t num_tables = hot_rows_per_table.size();
+
+  PlacementPlan plan;
+  plan.warm_rows.assign(
+      static_cast<std::size_t>(num_shards),
+      std::vector<std::vector<index_t>>(num_tables));
+  plan.shard_share.assign(static_cast<std::size_t>(num_shards), 0.0);
+
+  std::vector<int> owners;
+  double total_weight = 0.0;
+  for (std::size_t t = 0; t < num_tables; ++t) {
+    const std::vector<index_t>& hot = hot_rows_per_table[t];
+    for (std::size_t rank = 0; rank < hot.size(); ++rank) {
+      const double weight = 1.0 / static_cast<double>(rank + 1);
+      ring.owners_of(static_cast<index_t>(t), hot[rank], config.replication,
+                     owners);
+      plan.shard_share[static_cast<std::size_t>(owners.front())] += weight;
+      total_weight += weight;
+      for (const int shard : owners) {
+        std::vector<index_t>& dst =
+            plan.warm_rows[static_cast<std::size_t>(shard)][t];
+        if (config.warm_rows_per_table > 0 &&
+            dst.size() >= config.warm_rows_per_table) {
+          continue;
+        }
+        dst.push_back(hot[rank]);
+      }
+    }
+  }
+  if (total_weight > 0.0) {
+    for (double& share : plan.shard_share) share /= total_weight;
+  }
+  return plan;
+}
+
+std::vector<index_t> merge_hot_rows(
+    const std::vector<std::vector<index_t>>& per_source,
+    std::size_t capacity) {
+  std::vector<index_t> merged;
+  std::unordered_set<index_t> seen;
+  std::size_t longest = 0;
+  for (const auto& src : per_source) longest = std::max(longest, src.size());
+  for (std::size_t rank = 0; rank < longest; ++rank) {
+    for (const auto& src : per_source) {
+      if (rank >= src.size()) continue;
+      if (capacity > 0 && merged.size() >= capacity) return merged;
+      if (seen.insert(src[rank]).second) merged.push_back(src[rank]);
+    }
+  }
+  return merged;
+}
+
+}  // namespace elrec

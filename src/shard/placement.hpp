@@ -1,0 +1,48 @@
+// Statistics-driven cache placement for the sharded serving tier.
+//
+// Input: per-table hot-row lists, hottest first (data/stats
+// top_accessed_indices over the training distribution — the RecShard
+// observation that a tiny hot set dominates accesses). plan_placement maps
+// each hot row to its consistent-hash owner ladder and emits, per shard,
+// the rows that shard should warm into its ServingCache: the primary owner
+// plus `replication - 1` failover replicas each warm a copy, so the rows
+// most likely to be looked up stay warm on every shard that can be asked
+// for them. shard_share estimates each shard's fraction of hot traffic
+// (rank-weighted, weight 1/(rank+1)) for capacity checks and the bench.
+//
+// merge_hot_rows fuses several shards' observed hot lists into one
+// router-level warm list (round-robin by rank, deduplicated) — the feed
+// for ServingCache::warm() on the router's fallback session.
+#pragma once
+
+#include <vector>
+
+#include "shard/hash_ring.hpp"
+
+namespace elrec {
+
+struct PlacementConfig {
+  int replication = 2;  // shards warming each hot row (primary + replicas)
+  std::size_t warm_rows_per_table = 0;  // per shard per table; 0 = no cap
+};
+
+struct PlacementPlan {
+  /// warm_rows[shard][table] = rows that shard warms, hottest first.
+  std::vector<std::vector<std::vector<index_t>>> warm_rows;
+  /// Rank-weighted fraction of hot traffic whose primary is this shard
+  /// (sums to 1 when any hot rows were given).
+  std::vector<double> shard_share;
+};
+
+PlacementPlan plan_placement(
+    const HashRing& ring,
+    const std::vector<std::vector<index_t>>& hot_rows_per_table,
+    const PlacementConfig& config);
+
+/// Merges per-source hot lists (each hottest first) into one list of at
+/// most `capacity` distinct rows, interleaving by rank so every source's
+/// hottest rows survive the cut. capacity 0 = no cap.
+std::vector<index_t> merge_hot_rows(
+    const std::vector<std::vector<index_t>>& per_source, std::size_t capacity);
+
+}  // namespace elrec

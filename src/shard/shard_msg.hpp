@@ -1,0 +1,40 @@
+// Wire types of the in-process shard transport.
+//
+// A shard call asks one shard server to materialize a list of embedding
+// rows from one table; the reply carries the row matrix or a typed failure.
+// The promise travels inside the envelope so whoever ends up holding it —
+// a server worker, or the channel's crash-drain — is responsible for
+// resolving the router's future exactly once.
+#pragma once
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace elrec {
+
+enum class ShardCallStatus {
+  kOk,         // values filled
+  kTransient,  // momentary failure; the router's retry policy may absorb it
+  kError,      // fatal for this call; router fails over without retrying
+};
+
+struct ShardCallRequest {
+  index_t table = 0;
+  std::vector<index_t> rows;  // empty = health ping (served, returns 0 rows)
+};
+
+struct ShardCallReply {
+  ShardCallStatus status = ShardCallStatus::kOk;
+  std::string error;  // non-empty iff status != kOk
+  Matrix values;      // row i = request.rows[i]
+};
+
+struct ShardEnvelope {
+  ShardCallRequest req;
+  std::promise<ShardCallReply> reply;
+};
+
+}  // namespace elrec

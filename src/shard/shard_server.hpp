@@ -1,0 +1,86 @@
+// One shard of the fault-tolerant serving tier.
+//
+// A ShardServer wraps an InferenceSession and serves row-materialization
+// calls from its ShardChannel mailbox on a small worker pool. Because the
+// Eff-TT model is tiny, every shard holds the *full* frozen model; what a
+// shard actually owns is cache warmth for its consistent-hash partition
+// (see placement.hpp) — so any shard can serve any row bitwise-identically,
+// just colder. That is the property that makes failover and degraded mode
+// "slower, never wrong".
+//
+// Failure model: the fault sites `shard.crash` (fatal — the server marks
+// itself dead, crashes its channel, and its workers exit, emulating
+// process death mid-request) and `shard.serve` (transient/delay faults on
+// individual calls) are planted on the serve path. kill()/revive() drive
+// the same transitions administratively for tests and the demo.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "serve/inference_session.hpp"
+#include "shard/transport.hpp"
+
+namespace elrec {
+
+struct ShardServerConfig {
+  std::size_t num_workers = 2;
+  std::size_t mailbox_capacity = 256;  // per-shard in-flight bound
+};
+
+class ShardServer {
+ public:
+  /// `session` must outlive the server. Workers start immediately.
+  ShardServer(int shard_id, const InferenceSession& session,
+              ShardServerConfig config = {});
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  int shard_id() const { return shard_id_; }
+  const InferenceSession& session() const { return session_; }
+  ShardChannel& channel() { return channel_; }
+
+  /// False after kill() or a shard.crash fault until revive().
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+
+  /// Administrative death: crashes the channel (in-flight calls fail over
+  /// instantly) and joins the workers. Idempotent.
+  void kill();
+
+  /// Restarts a dead server: fresh mailbox, fresh workers. No-op if alive.
+  void revive();
+
+  std::uint64_t calls_served() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rows_served() const {
+    return rows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void start_workers_locked() ELREC_REQUIRES(lifecycle_mu_);
+  void join_workers_locked() ELREC_REQUIRES(lifecycle_mu_);
+  void worker_loop();
+  /// Serves one envelope; returns false when the worker must exit because
+  /// the server just died (self-inflicted shard.crash).
+  bool serve_call(ShardEnvelope& env, InferenceSession::WorkerState& state);
+
+  const int shard_id_;
+  const InferenceSession& session_;
+  const ShardServerConfig config_;
+  ShardChannel channel_;
+  std::atomic<bool> alive_{true};
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> rows_{0};
+
+  std::mutex lifecycle_mu_;
+  std::vector<std::thread> workers_ ELREC_GUARDED_BY(lifecycle_mu_);
+};
+
+}  // namespace elrec

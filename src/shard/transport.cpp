@@ -1,0 +1,70 @@
+#include "shard/transport.hpp"
+
+namespace elrec {
+
+ShardChannel::ShardChannel(std::size_t capacity)
+    : capacity_(capacity), box_(std::make_shared<Mailbox>(capacity)) {}
+
+ChannelSubmitStatus ShardChannel::submit(ShardCallRequest req,
+                                         std::future<ShardCallReply>& reply) {
+  // The push happens under the shared lock so crash() (unique lock) can
+  // only run strictly before or after it: every accepted envelope is either
+  // drained by crash() or visible to a worker — never silently lost.
+  std::shared_lock lock(mu_);
+  if (box_ == nullptr) return ChannelSubmitStatus::kDown;
+  ShardEnvelope env;
+  env.req = std::move(req);
+  std::future<ShardCallReply> fut = env.reply.get_future();
+  switch (box_->try_push_for(env, std::chrono::microseconds(0))) {
+    case QueueOpStatus::kOk:
+      reply = std::move(fut);
+      return ChannelSubmitStatus::kAccepted;
+    case QueueOpStatus::kTimeout:
+      return ChannelSubmitStatus::kOverloaded;
+    case QueueOpStatus::kClosed:
+      return ChannelSubmitStatus::kDown;
+  }
+  return ChannelSubmitStatus::kDown;  // unreachable
+}
+
+std::optional<ShardEnvelope> ShardChannel::next() {
+  std::shared_ptr<Mailbox> box;
+  {
+    std::shared_lock lock(mu_);
+    box = box_;
+  }
+  if (box == nullptr) return std::nullopt;
+  // Block outside the lock so a concurrent crash() can close the mailbox
+  // (pop() then returns nullopt) instead of deadlocking on mu_.
+  return box->pop();
+}
+
+void ShardChannel::crash() {
+  std::shared_ptr<Mailbox> box;
+  {
+    std::unique_lock lock(mu_);
+    box = std::move(box_);
+    box_ = nullptr;
+  }
+  if (box == nullptr) return;  // already crashed
+  box->close();
+  // Fail the undelivered envelopes. Workers may be draining concurrently —
+  // each envelope goes to exactly one popper, so every promise is resolved
+  // exactly once (here as TransientError, there as a served reply).
+  while (auto env = box->try_pop()) {
+    env->reply.set_exception(std::make_exception_ptr(
+        TransientError("shard channel crashed with call in flight")));
+  }
+}
+
+void ShardChannel::reopen() {
+  std::unique_lock lock(mu_);
+  if (box_ == nullptr) box_ = std::make_shared<Mailbox>(capacity_);
+}
+
+bool ShardChannel::up() const {
+  std::shared_lock lock(mu_);
+  return box_ != nullptr;
+}
+
+}  // namespace elrec

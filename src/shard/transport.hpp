@@ -1,0 +1,62 @@
+// In-process shard transport with crash semantics.
+//
+// A ShardChannel is one shard server's mailbox: routers submit()
+// ShardEnvelopes (non-blocking — a full mailbox sheds instead of queueing
+// unbounded work, which is the per-shard in-flight bound), server workers
+// next() them out. The channel models process death explicitly: crash()
+// atomically swaps the mailbox out, then resolves every undelivered
+// envelope with TransientError — so a router blocked on a reply future
+// wakes *immediately* with a retryable failure instead of waiting out its
+// deadline. That broken-promise-as-instant-NACK behavior is what keeps p99
+// bounded while a shard is being killed. reopen() installs a fresh mailbox
+// for the revived server.
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+
+#include "common/blocking_queue.hpp"
+#include "shard/shard_msg.hpp"
+
+namespace elrec {
+
+enum class ChannelSubmitStatus {
+  kAccepted,    // envelope queued; the reply future will resolve
+  kOverloaded,  // mailbox at capacity — per-shard load shed
+  kDown,        // channel crashed; submit again after reopen()
+};
+
+class ShardChannel {
+ public:
+  explicit ShardChannel(std::size_t capacity);
+
+  /// Non-blocking admission. On kAccepted, `reply` receives the future the
+  /// server (or a later crash()) will resolve; otherwise it is untouched.
+  ChannelSubmitStatus submit(ShardCallRequest req,
+                             std::future<ShardCallReply>& reply);
+
+  /// Server side: blocks for the next envelope. nullopt once the channel
+  /// has crashed (in-flight envelopes drain to the crash path, not here).
+  std::optional<ShardEnvelope> next();
+
+  /// Simulated process death: closes and detaches the mailbox, then fails
+  /// every undelivered envelope with TransientError so waiting routers fail
+  /// over instantly. Idempotent; safe concurrent with submit()/next().
+  void crash();
+
+  /// Installs a fresh empty mailbox after a crash. No-op while up.
+  void reopen();
+
+  bool up() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Mailbox = BlockingQueue<ShardEnvelope>;
+
+  const std::size_t capacity_;
+  mutable std::shared_mutex mu_;
+  std::shared_ptr<Mailbox> box_;  // null while crashed
+};
+
+}  // namespace elrec

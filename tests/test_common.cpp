@@ -264,6 +264,48 @@ TEST(BlockingQueue, TryPopForReportsClosedOnlyAfterDrain) {
             QueueOpStatus::kClosed);
 }
 
+// Poison-pill shutdown race: consumers sit in long try_pop_for waits while
+// the producer pushes K final items and immediately closes. Exactly K pops
+// must report kOk (each pill delivered once) and every other consumer must
+// see kClosed far sooner than its deadline — the close must not strand a
+// waiter, and a pill must never be dropped or double-delivered.
+TEST(BlockingQueue, TryPopForRacingCloseDeliversEveryPillThenCloses) {
+  constexpr int kConsumers = 6;
+  constexpr int kPills = 3;
+  BlockingQueue<int> q(kPills);
+  std::atomic<int> ok_count{0};
+  std::atomic<long> pill_sum{0};
+  std::atomic<int> closed_count{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        int out = 0;
+        // Far longer than the test runs; kClosed must cut the wait short.
+        const QueueOpStatus st = q.try_pop_for(out, std::chrono::seconds(30));
+        if (st == QueueOpStatus::kClosed) {
+          ++closed_count;
+          return;
+        }
+        ASSERT_EQ(st, QueueOpStatus::kOk);
+        ++ok_count;
+        pill_sum += out;
+      }
+    });
+  }
+  // Let consumers reach their waits, then race pills against close().
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 1; i <= kPills; ++i) q.push(i);
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(5));
+  EXPECT_EQ(ok_count.load(), kPills) << "every pill delivered exactly once";
+  EXPECT_EQ(pill_sum.load(), kPills * (kPills + 1) / 2);
+  EXPECT_EQ(closed_count.load(), kConsumers) << "no consumer left waiting";
+}
+
 TEST(BlockingQueue, CloseWakesDeadlineWaitersEarly) {
   BlockingQueue<int> q(1);
   q.push(1);  // full: producers wait; consumers would succeed, so test both

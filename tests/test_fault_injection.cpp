@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <future>
 
@@ -533,6 +534,75 @@ TEST_F(FaultInjectionTest, ElrecCheckpointResumeMatchesUninterruptedRun) {
   EXPECT_EQ(clean_params, resumed_params)
       << "model parameters diverged after resume";
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// ELREC_FAULT_SITES env-var configuration (arm_from_string / arm_from_env).
+
+TEST_F(FaultInjectionTest, ArmFromStringArmsKindsAndParams) {
+  FaultInjector& inj = FaultInjector::instance();
+  EXPECT_EQ(inj.arm_from_string(
+                "a.error:1,b.transient:0.5:transient,"
+                "c.delay:1:delay:25,d.capped:1:error:2"),
+            4u);
+
+  EXPECT_THROW(inj.on_site("a.error"), InjectedFault);
+  EXPECT_EQ(inj.fires("a.error"), 1u);
+
+  // probability 0.5: over many hits some fire, some pass.
+  std::uint64_t threw = 0;
+  for (int i = 0; i < 200; ++i) {
+    try {
+      inj.on_site("b.transient");
+    } catch (const TransientError&) {
+      ++threw;
+    }
+  }
+  EXPECT_GT(threw, 0u);
+  EXPECT_LT(threw, 200u);
+
+  // delay param is milliseconds of stall.
+  const auto t0 = std::chrono::steady_clock::now();
+  inj.on_site("c.delay");
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(20));
+
+  // error/transient param caps max_fires.
+  EXPECT_THROW(inj.on_site("d.capped"), InjectedFault);
+  EXPECT_THROW(inj.on_site("d.capped"), InjectedFault);
+  inj.on_site("d.capped");  // third hit: cap reached, passes through
+  EXPECT_EQ(inj.fires("d.capped"), 2u);
+}
+
+TEST_F(FaultInjectionTest, ArmFromStringRejectsMalformedEntries) {
+  FaultInjector& inj = FaultInjector::instance();
+  EXPECT_THROW(inj.arm_from_string("noprob"), Error);
+  EXPECT_THROW(inj.arm_from_string("site:notanumber"), Error);
+  EXPECT_THROW(inj.arm_from_string("site:1.5"), Error);  // prob outside [0,1]
+  EXPECT_THROW(inj.arm_from_string("site:1:bogus"), Error);
+  EXPECT_THROW(inj.arm_from_string("site:1:delay:-3"), Error);
+  EXPECT_THROW(inj.arm_from_string("site:1:error:1:extra"), Error);
+  EXPECT_THROW(inj.arm_from_string(":1"), Error);  // empty site name
+  // Empty entries (stray commas) are tolerated; nothing armed.
+  EXPECT_EQ(inj.arm_from_string(",,"), 0u);
+}
+
+TEST_F(FaultInjectionTest, ArmFromEnvHonorsVariable) {
+  FaultInjector& inj = FaultInjector::instance();
+  ASSERT_EQ(::setenv("ELREC_FAULT_SITES", "env.site:1:transient", 1), 0);
+  EXPECT_EQ(inj.arm_from_env(), 1u);
+  EXPECT_THROW(inj.on_site("env.site"), TransientError);
+  ASSERT_EQ(::unsetenv("ELREC_FAULT_SITES"), 0);
+  EXPECT_EQ(inj.arm_from_env(), 0u);  // unset: nothing armed, no error
+  EXPECT_EQ(inj.env_config_error(), "");
+}
+
+TEST_F(FaultInjectionTest, ArmFromEnvRecordsParseErrorAndRethrows) {
+  FaultInjector& inj = FaultInjector::instance();
+  ASSERT_EQ(::setenv("ELREC_FAULT_SITES", "bad entry without prob", 1), 0);
+  EXPECT_THROW(inj.arm_from_env(), Error);
+  EXPECT_NE(inj.env_config_error(), "");
+  ASSERT_EQ(::unsetenv("ELREC_FAULT_SITES"), 0);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "pipeline/embedding_cache.hpp"
 #include "serve/serving_cache.hpp"
+#include "shard/placement.hpp"
 
 namespace elrec {
 namespace {
@@ -138,6 +139,48 @@ TEST(ServingCache, WarmBypassesAdmissionAndDefendsSlots) {
   EXPECT_TRUE(hit[0]);
   cache.probe({2}, dst, hit);
   EXPECT_TRUE(hit[0]);
+}
+
+// Router-side fallback warming: hot lists observed by several shards are
+// merged (merge_hot_rows interleaves by rank and dedups) and fed to one
+// warm() call. Overlapping rows must not double-admit, and a merged list
+// longer than capacity must not overflow the cache.
+TEST(ServingCache, WarmFromMergedCrossShardStatsNoDoubleAdmitNoOverflow) {
+  ServingCacheConfig cfg;
+  cfg.capacity = 4;
+  cfg.admit_min_freq = 3;
+  ServingCache cache(100, 4, cfg);
+
+  // Three shards report overlapping hot sets (hottest first); the merge is
+  // capped at the fallback cache's capacity.
+  const std::vector<std::vector<index_t>> per_shard = {
+      {7, 3, 11}, {3, 7, 19}, {7, 23, 3}};
+  const std::vector<index_t> merged = merge_hot_rows(per_shard, 4);
+  EXPECT_EQ(merged, (std::vector<index_t>{7, 3, 23, 11}));
+
+  cache.warm(merged, row_values(merged, 4, 2.0f));
+  EXPECT_EQ(cache.size(), 4);
+  EXPECT_EQ(cache.stats_snapshot().admitted, static_cast<std::size_t>(4));
+
+  // Warming again with the same merged stats (a refresh tick) re-admits
+  // nothing: every row is already resident.
+  cache.warm(merged, row_values(merged, 4, 2.0f));
+  EXPECT_EQ(cache.size(), 4);
+  EXPECT_EQ(cache.stats_snapshot().admitted, static_cast<std::size_t>(4))
+      << "resident rows must not be double-admitted";
+
+  // An uncapped merge larger than capacity still leaves size <= capacity.
+  const std::vector<index_t> wide = merge_hot_rows(per_shard, 0);
+  ASSERT_GT(wide.size(), static_cast<std::size_t>(cfg.capacity));
+  cache.warm(wide, row_values(wide, 4, 2.0f));
+  EXPECT_LE(cache.size(), cfg.capacity);
+
+  // Every warmed row serves hits with the warmed bits.
+  Matrix dst(1, 4);
+  std::vector<char> hit;
+  cache.probe({7}, dst, hit);
+  ASSERT_TRUE(hit[0]);
+  EXPECT_EQ(dst.at(0, 0), 2.0f * 7.0f);
 }
 
 TEST(ServingCache, CapacityClampedToTableRows) {
