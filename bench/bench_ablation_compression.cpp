@@ -6,9 +6,19 @@
 //   hashing    — feature hashing with the SAME parameter count as eff-tt
 //   int8       — row-wise quantized table (4x smaller than dense)
 // and reports accuracy/AUC next to the embedding bytes.
+//
+// Second axis (traffic, not storage): the gradient/parameter codec's
+// error-bound sweep. The real ElRecTrainer pipeline is run at each
+// (bits, rel_bound) point and reports bytes-on-queue reduction next to the
+// final-loss delta against the null-codec run — the accuracy/traffic
+// trade-off curve behind the Figs 11/12 "with codec" arms.
+//
+// `--quick` runs shortened versions of both axes and writes
+// BENCH_ablation_compression.json for the perf harness.
 #include <memory>
 
 #include "bench_util.hpp"
+#include "codec/grad_codec.hpp"
 #include "core/eff_tt_table.hpp"
 #include "data/synthetic.hpp"
 #include "dlrm/dlrm_model.hpp"
@@ -16,6 +26,7 @@
 #include "embed/embedding_bag.hpp"
 #include "embed/hashed_embedding_bag.hpp"
 #include "embed/quantized_embedding_bag.hpp"
+#include "pipeline/elrec_trainer.hpp"
 
 using namespace elrec;
 using namespace elrec::benchutil;
@@ -25,7 +36,6 @@ namespace {
 constexpr index_t kDim = 16;
 constexpr index_t kRank = 8;
 constexpr index_t kBatch = 256;
-constexpr index_t kBatches = 600;
 
 enum class Method { kDense, kEffTT, kHashing, kInt8 };
 
@@ -59,7 +69,7 @@ struct Result {
   std::size_t bytes = 0;
 };
 
-Result run(Method m, const DatasetSpec& spec) {
+Result run(Method m, const DatasetSpec& spec, index_t batches) {
   Prng rng(101);
   DlrmConfig cfg;
   cfg.num_dense = spec.num_dense;
@@ -71,7 +81,7 @@ Result run(Method m, const DatasetSpec& spec) {
   DlrmModel model(cfg, std::move(tables), rng);
 
   SyntheticDataset data(spec, 555);
-  for (index_t b = 0; b < kBatches; ++b) {
+  for (index_t b = 0; b < batches; ++b) {
     model.train_step(data.next_batch(kBatch), 0.15f);
   }
   Result r;
@@ -88,9 +98,7 @@ Result run(Method m, const DatasetSpec& spec) {
   return r;
 }
 
-}  // namespace
-
-int main() {
+void storage_ablation(JsonBenchReport* report, index_t batches) {
   header("Ablation: compression methods at comparable budgets (Criteo-Kaggle-like, 2000x scaled)");
   const DatasetSpec spec = criteo_kaggle_spec().scaled(2000);
   std::vector<std::vector<std::string>> rows;
@@ -102,9 +110,15 @@ int main() {
       {Method::kInt8, "int8 rowwise"},
   };
   for (const auto& [m, name] : methods) {
-    const Result r = run(m, spec);
+    const Result r = run(m, spec, batches);
     rows.push_back({name, fmt_bytes(static_cast<double>(r.bytes)),
                     fmt(r.acc * 100, 2) + "%", fmt(r.auc, 3)});
+    if (report != nullptr) {
+      report->add("storage_" + name,
+                  {{"embedding_bytes", static_cast<double>(r.bytes)},
+                   {"accuracy", r.acc},
+                   {"auc", r.auc}});
+    }
   }
   print_table(rows);
   note("TT matches the dense baseline at ~14x fewer embedding bytes (the");
@@ -115,5 +129,103 @@ int main() {
   note("TT's advantages are the collision-free mapping and (per the paper)");
   note("accuracy on real CTR data; int8 training shows the rounding losses");
   note("the paper cites for quantized tables.");
+}
+
+struct SweepResult {
+  double final_loss = 0.0;
+  double reduction = 1.0;
+};
+
+SweepResult run_codec_point(const CodecConfig& codec, index_t batches) {
+  // Same pipeline shape as bench_codec's end-to-end arm (one host table).
+  DatasetSpec spec;
+  spec.name = "codec-sweep";
+  spec.num_dense = 4;
+  spec.table_rows = {20000, 4000, 256};
+  spec.num_samples = 1 << 20;
+  spec.zipf_s = 1.15;
+
+  ElRecTrainerConfig cfg;
+  cfg.model.num_dense = spec.num_dense;
+  cfg.model.embedding_dim = 16;
+  cfg.model.bottom_hidden = {32};
+  cfg.model.top_hidden = {32};
+  cfg.placement = {TablePlacement::kDeviceTT, TablePlacement::kHost,
+                   TablePlacement::kDeviceDense};
+  cfg.tt_rank = 8;
+  cfg.lr = 0.05f;
+  cfg.seed = 3;
+  cfg.queue_capacity = 4;
+  cfg.codec = codec;
+
+  ElRecTrainer trainer(cfg, spec);
+  SyntheticDataset data(spec, 17);
+  const ElRecRunStats stats = trainer.train(data, batches, kBatch);
+  SweepResult r;
+  r.final_loss = stats.final_loss;
+  r.reduction = stats.encoded_queue_bytes > 0
+                    ? static_cast<double>(stats.raw_queue_bytes) /
+                          static_cast<double>(stats.encoded_queue_bytes)
+                    : 1.0;
+  return r;
+}
+
+void codec_bound_sweep(JsonBenchReport* report, index_t batches) {
+  header("Ablation: codec error-bound sweep (bytes on queue vs final loss)");
+  CodecConfig null_cfg;
+  const SweepResult base = run_codec_point(null_cfg, batches);
+
+  std::vector<std::vector<std::string>> table;
+  table.push_back(
+      {"Codec", "rel bound", "bytes reduction", "final loss", "loss delta"});
+  table.push_back({"null", "-", fmt(base.reduction, 2) + "x",
+                   fmt(base.final_loss, 4), "0.00000"});
+  if (report != nullptr) {
+    report->add("sweep_null", {{"rel_bound", 0.0},
+                               {"bytes_reduction", base.reduction},
+                               {"final_loss", base.final_loss},
+                               {"loss_delta", 0.0}});
+  }
+  for (const int bits : {8, 4}) {
+    for (const float rel_bound : {0.01f, 0.05f, 0.1f, 0.2f}) {
+      CodecConfig cfg;
+      cfg.id = CodecId::kDualLevel;
+      cfg.bits = bits;
+      cfg.rel_bound = rel_bound;
+      const SweepResult r = run_codec_point(cfg, batches);
+      const double delta = std::abs(r.final_loss - base.final_loss);
+      const std::string name = "dual-int" + std::to_string(bits);
+      table.push_back({name, fmt(rel_bound, 2), fmt(r.reduction, 2) + "x",
+                       fmt(r.final_loss, 4), fmt(delta, 5)});
+      if (report != nullptr) {
+        report->add("sweep_" + name + "_b" + fmt(rel_bound, 2),
+                    {{"rel_bound", rel_bound},
+                     {"bytes_reduction", r.reduction},
+                     {"final_loss", r.final_loss},
+                     {"loss_delta", delta}});
+      }
+    }
+  }
+  print_table(table);
+  note("Level-2 quantization dominates on this workload (touched rows carry");
+  note("signal, so the level-1 dead zone drops few of them; wider bounds add");
+  note("only marginal sparsification). int4 doubles the saving over int8 at");
+  note("the same bound, and the loss delta stays within the rel_bound * RMS");
+  note("error budget across the whole sweep.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = has_flag(argc, argv, "--quick");
+  if (quick) {
+    JsonBenchReport report("ablation_compression");
+    storage_ablation(&report, /*batches=*/150);
+    codec_bound_sweep(&report, /*batches=*/40);
+    report.write();
+    return 0;
+  }
+  storage_ablation(nullptr, /*batches=*/600);
+  codec_bound_sweep(nullptr, /*batches=*/200);
   return 0;
 }

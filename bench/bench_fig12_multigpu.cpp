@@ -12,9 +12,17 @@ using namespace elrec::benchutil;
 int main() {
   header("Fig. 12: training throughput (samples/s), 1 vs 4 V100 GPUs, batch 4096");
   const DeviceSpec dev = v100();
+  // Gradient all-reduce compressed by the real dual-level int8 codec: the
+  // bytes-on-wire ratio is measured by round-tripping Zipf-skewed gradient
+  // tensors through src/codec, then fed to the cost model.
+  CodecConfig codec;
+  codec.id = CodecId::kDualLevel;
+  codec.bits = 8;
+  codec.rel_bound = 0.05f;
+  const double ratio = measured_codec_ratio(codec, 4096, 64);
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"Dataset", "DLRM 1GPU", "DLRM 4GPU", "EL-Rec 1GPU",
-                  "EL-Rec 4GPU", "EL-Rec4/DLRM4"});
+                  "EL-Rec 4GPU", "EL-Rec 4GPU+codec", "EL-Rec4/DLRM4"});
   for (const DatasetSpec& spec : paper_dataset_specs()) {
     DlrmWorkload w = DlrmWorkload::from_spec(spec, 4096, 64, 128);
     ground_workload_stats(w, spec);
@@ -22,13 +30,19 @@ int main() {
     const double dl4 = model_dlrm_multi(w, dev, 4).throughput(4096);
     const double el1 = model_elrec_multi(w, dev, 1).throughput(4096);
     const double el4 = model_elrec_multi(w, dev, 4).throughput(4096);
+    DlrmWorkload wc = w;
+    wc.comm_compression_ratio = ratio;
+    const double el4c = model_elrec_multi(wc, dev, 4).throughput(4096);
     rows.push_back({spec.name, fmt(dl1, 0), fmt(dl4, 0), fmt(el1, 0),
-                    fmt(el4, 0), fmt(el4 / dl4, 2) + "x"});
+                    fmt(el4, 0), fmt(el4c, 0), fmt(el4 / dl4, 2) + "x"});
   }
   print_table(rows);
   note("Paper shape: EL-Rec(4) beats DLRM(4) (~1.4x) because replicated TT");
   note("tables avoid model-parallel all-to-alls; DLRM(1) slightly beats");
   note("EL-Rec(1) since tensorization adds compute when memory fits.");
   note("(DLRM 1-GPU assumes tables fit in HBM; true for Kaggle/Avazu only.)");
+  note("+codec: gradient all-reduce bytes cut " + fmt(ratio, 2) +
+       "x (measured dual-level int8 ratio), shrinking the serial");
+  note("all-reduce phase on top of the NCCL overlap already priced in.");
   return 0;
 }

@@ -16,6 +16,10 @@
 #                                    # failover router, 5k requests, one
 #                                    # injected kill mid-stream, then the
 #                                    # sanitize-labelled shard/router suites
+#   scripts/check.sh --codec         # codec smoke: gated bench_codec run
+#                                    # (bytes-on-queue reduction + loss delta
+#                                    # vs the null codec), then the codec
+#                                    # round-trip/checkpoint/all-reduce suites
 #   BUILD_DIR=build-tsan scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -90,6 +94,23 @@ if [[ "$MODE" == "--shard" ]]; then
   ctest --test-dir "$BUILD_DIR" -L sanitize -R 'HashRing|Placement|MergeHotRows|Shard' \
     --output-on-failure -j"$JOBS"
   echo "shard smoke OK"
+  exit 0
+fi
+
+if [[ "$MODE" == "--codec" ]]; then
+  echo "== codec smoke: null vs dual-level on the real pipeline =="
+  # bench_codec --quick trains the Fig. 16 workload under the null and
+  # dual-level codecs and exits non-zero unless the dual-int4 arm cuts
+  # bytes-on-queue >= 4x with the final loss inside the error budget (the
+  # null arm is the bitwise-identity reference).
+  (cd "$BUILD_DIR/bench" && ./bench_codec --quick)
+
+  echo "== sanitize-labelled codec suites =="
+  # Round-trip edge cases, corruption detection, thread-count determinism,
+  # checkpoint codec provenance, cache precision, compressed all-reduce.
+  ctest --test-dir "$BUILD_DIR" -L sanitize -R 'Codec' \
+    --output-on-failure -j"$JOBS"
+  echo "codec smoke OK"
   exit 0
 fi
 

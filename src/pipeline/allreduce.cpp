@@ -7,6 +7,7 @@ namespace elrec {
 RingAllReduce::RingAllReduce(int num_workers)
     : num_workers_(num_workers),
       buffers_(static_cast<std::size_t>(num_workers)),
+      blobs_(static_cast<std::size_t>(num_workers)),
       barrier_(num_workers) {
   ELREC_CHECK(num_workers >= 1, "need at least one worker");
 }
@@ -62,6 +63,41 @@ void RingAllReduce::allreduce_mean(int rank, std::span<float> data) {
     }
     barrier_.arrive_and_wait();
   }
+}
+
+std::size_t RingAllReduce::allreduce_mean_compressed(int rank,
+                                                     std::span<float> data,
+                                                     IGradCodec& codec) {
+  ELREC_CHECK(rank >= 0 && rank < num_workers_, "bad rank");
+  if (num_workers_ == 1) return 0;
+
+  // Publish this rank's encoded contribution (shape 1 x n: the buffer is
+  // one flat tensor; sparsification applies all-or-nothing per buffer).
+  EncodedBlob& mine = blobs_[static_cast<std::size_t>(rank)];
+  codec.encode(data.data(), 1, static_cast<index_t>(data.size()), mine);
+  barrier_.arrive_and_wait();
+
+  // Every rank decodes every contribution in rank order and averages:
+  // identical float arithmetic on all ranks, so replicas stay bitwise
+  // equal after the collective.
+  const std::size_t n = data.size();
+  std::vector<float> decoded(n);
+  std::vector<float> acc(n, 0.0f);
+  for (int r = 0; r < num_workers_; ++r) {
+    const EncodedBlob& blob = blobs_[static_cast<std::size_t>(r)];
+    const CodecWireHeader h = peek_blob_header(blob);
+    ELREC_CHECK(h.rows * h.cols == static_cast<index_t>(n),
+                "all-reduce buffers must have equal length");
+    decode_blob_into(blob, decoded.data(), n);
+    for (std::size_t i = 0; i < n; ++i) acc[i] += decoded[i];
+  }
+  const float inv = 1.0f / static_cast<float>(num_workers_);
+  for (std::size_t i = 0; i < n; ++i) data[i] = acc[i] * inv;
+
+  // Nobody may re-encode into their blob slot until every rank has read
+  // all slots.
+  barrier_.arrive_and_wait();
+  return mine.size();
 }
 
 double RingAllReduce::ring_bytes_per_worker(double payload_bytes,

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "codec/grad_codec.hpp"
 #include "tensor/matrix.hpp"
 
 namespace elrec {
@@ -29,6 +30,16 @@ class RingAllReduce {
   /// call per rank.
   void allreduce_mean(int rank, std::span<float> data);
 
+  /// Collective, compressed variant: every worker encodes its buffer with
+  /// its own `codec` instance, the blobs are exchanged, and every worker
+  /// decodes ALL contributions in rank order and averages them — so the
+  /// result is identical on every rank (replicas cannot drift apart) and
+  /// only encoded bytes cross the "wire". Returns this rank's encoded
+  /// payload size. Intended for lossy codecs; under a lossless codec the
+  /// result matches allreduce_mean only up to float summation order.
+  std::size_t allreduce_mean_compressed(int rank, std::span<float> data,
+                                        IGradCodec& codec);
+
   /// Bytes a ring all-reduce moves per worker for a payload of n bytes:
   /// 2 * (W-1)/W * n (the sim module uses this too).
   static double ring_bytes_per_worker(double payload_bytes, int num_workers);
@@ -36,6 +47,7 @@ class RingAllReduce {
  private:
   int num_workers_;
   std::vector<std::span<float>> buffers_;
+  std::vector<EncodedBlob> blobs_;  // one per rank, compressed collective
   std::barrier<> barrier_;
 };
 

@@ -82,6 +82,8 @@ DataParallelStats DataParallelTrainer::train(SyntheticDataset& data,
   RingAllReduce ring(w);
   std::vector<float> losses(static_cast<std::size_t>(w), 0.0f);
 
+  const bool lossy = !config_.codec.lossless();
+
   for (index_t b = 0; b < num_batches; ++b) {
     const MiniBatch global = data.next_batch(global_batch);
     const index_t shard = global_batch / w;
@@ -89,25 +91,57 @@ DataParallelStats DataParallelTrainer::train(SyntheticDataset& data,
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(w));
     double step_bytes = 0.0;
+    double step_encoded_bytes = 0.0;
     for (int rank = 0; rank < w; ++rank) {
       threads.emplace_back([&, rank] {
+        DlrmModel& model = *models_[static_cast<std::size_t>(rank)];
+        // Delta compression needs the common pre-step parameters: replicas
+        // are identical here (post-construction or post-collective).
+        std::vector<std::vector<float>> prev;
+        if (lossy) {
+          model.visit_parameters([&](float* p, std::size_t n) {
+            prev.emplace_back(p, p + n);
+          });
+        }
         const MiniBatch local =
             slice_minibatch(global, rank * shard, (rank + 1) * shard);
         losses[static_cast<std::size_t>(rank)] =
-            models_[static_cast<std::size_t>(rank)]->train_step(local,
-                                                                config_.lr);
-        // Synchronize: ring-all-reduce every parameter buffer to the mean.
-        // All workers traverse buffers in the same order (collective
-        // semantics); buffer count/sizes are identical by construction.
-        models_[static_cast<std::size_t>(rank)]->visit_parameters(
-            [&](float* p, std::size_t n) {
-              ring.allreduce_mean(rank, {p, n});
-              if (rank == 0) step_bytes += static_cast<double>(n) * 4;
-            });
+            model.train_step(local, config_.lr);
+        // Synchronize every parameter buffer; all workers traverse buffers
+        // in the same order (collective semantics); buffer count/sizes are
+        // identical by construction.
+        if (!lossy) {
+          // Exact path: ring-all-reduce the parameters to the mean.
+          model.visit_parameters([&](float* p, std::size_t n) {
+            ring.allreduce_mean(rank, {p, n});
+            if (rank == 0) step_bytes += static_cast<double>(n) * 4;
+          });
+        } else {
+          // Compressed path: exchange the encoded update delta and rebase
+          // it onto the common pre-step parameters. For one local SGD step
+          // delta == -lr * g_w, so the decoded-mean delta is synchronous
+          // SGD with error-bounded gradients.
+          auto codec = make_codec(config_.codec);
+          std::vector<float> delta;
+          std::size_t buf = 0;
+          model.visit_parameters([&](float* p, std::size_t n) {
+            const std::vector<float>& before = prev[buf++];
+            delta.resize(n);
+            for (std::size_t i = 0; i < n; ++i) delta[i] = p[i] - before[i];
+            const std::size_t enc = ring.allreduce_mean_compressed(
+                rank, {delta.data(), n}, *codec);
+            for (std::size_t i = 0; i < n; ++i) p[i] = before[i] + delta[i];
+            if (rank == 0) {
+              step_bytes += static_cast<double>(n) * 4;
+              step_encoded_bytes += static_cast<double>(enc);
+            }
+          });
+        }
       });
     }
     for (auto& t : threads) t.join();
     stats.allreduce_bytes = step_bytes;
+    stats.allreduce_encoded_bytes = step_encoded_bytes;
 
     float mean_loss = 0.0f;
     for (float l : losses) mean_loss += l;

@@ -25,13 +25,22 @@ struct DataParallelConfig {
   index_t tt_threshold = 1000;  // tables >= this become Eff-TT
   float lr = 0.05f;
   std::uint64_t seed = 1;
+
+  // Codec for the all-reduce. Null (default) keeps today's exact
+  // parameter-averaging collective, bitwise-identical to the pre-codec
+  // trainer. A lossy codec switches to delta compression: workers exchange
+  // the encoded local update delta (theta_after - theta_before) and apply
+  // the decoded mean to the common pre-step parameters, so the bounded
+  // error applies to the step, not to the parameters themselves.
+  CodecConfig codec;
 };
 
 struct DataParallelStats {
   index_t batches = 0;
   std::vector<float> loss_curve;  // mean worker loss per global batch
   double wall_seconds = 0.0;
-  double allreduce_bytes = 0.0;  // parameters synchronized per step
+  double allreduce_bytes = 0.0;  // raw parameter bytes synchronized per step
+  double allreduce_encoded_bytes = 0.0;  // encoded bytes per step (per rank)
 };
 
 /// Extracts the samples [begin, end) of `batch` into a standalone MiniBatch.

@@ -4,18 +4,38 @@
 #include <exception>
 #include <thread>
 
+#include <cstring>
+
 #include "common/blocking_queue.hpp"
 #include "common/fault_injector.hpp"
 #include "common/serialize.hpp"
 #include "common/stopwatch.hpp"
 #include "embed/embedding_bag.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace elrec {
 
 namespace {
 
-constexpr char kCheckpointTag[4] = {'E', 'L', 'C', '1'};
+constexpr char kCheckpointTag[4] = {'E', 'L', 'C', '1'};     // null codec
+constexpr char kCheckpointTagV2[4] = {'E', 'L', 'C', '2'};   // + u32 codec id
+
+// Same registry entries as PipelineTrainer: the counters are process-wide
+// and name the stream, not the trainer.
+struct ElrecByteCounters {
+  obs::Counter& grad_push;
+  obs::Counter& host_push;
+  obs::Counter& host_pull;
+};
+
+ElrecByteCounters& elrec_byte_counters() {
+  auto& reg = obs::MetricsRegistry::global();
+  static ElrecByteCounters c{reg.counter("pipeline.bytes.grad_push"),
+                             reg.counter("pipeline.bytes.host_push"),
+                             reg.counter("pipeline.bytes.host_pull")};
+  return c;
+}
 
 std::string describe_exception(const std::exception_ptr& ep) {
   try {
@@ -90,10 +110,16 @@ void HostTableClient::backward_and_update(const IndexBatch& batch,
     }
   }
   // Worker-side view of the post-update rows (for the embedding cache).
+  apply_decoded_update(grads_, lr);
+}
+
+void HostTableClient::apply_decoded_update(const Matrix& grads, float lr) {
+  ELREC_CHECK(grads.rows() == rows_.rows() && grads.cols() == rows_.cols(),
+              "decoded gradient shape mismatch");
   updated_.resize(rows_.rows(), rows_.cols());
   for (index_t i = 0; i < rows_.rows(); ++i) {
     const float* r = rows_.row(i);
-    const float* g = grads_.row(i);
+    const float* g = grads.row(i);
     float* u = updated_.row(i);
     for (index_t j = 0; j < dim_; ++j) u[j] = r[j] - lr * g[j];
   }
@@ -141,7 +167,12 @@ std::size_t ElRecTrainer::device_embedding_bytes() const {
 
 void ElRecTrainer::save_checkpoint(index_t next_batch) {
   write_checkpoint_atomic(config_.checkpoint_path, [&](BinaryWriter& w) {
-    w.write_tag(kCheckpointTag);
+    if (config_.codec.id == CodecId::kNull) {
+      w.write_tag(kCheckpointTag);  // legacy byte-identical format
+    } else {
+      w.write_tag(kCheckpointTagV2);
+      w.write_pod(static_cast<std::uint32_t>(config_.codec.id));
+    }
     w.write_i64(next_batch);
     std::uint64_t count = 0;
     model_->visit_parameters([&](float*, std::size_t) { ++count; });
@@ -160,7 +191,23 @@ void ElRecTrainer::save_checkpoint(index_t next_batch) {
 
 index_t ElRecTrainer::resume(const std::string& path) {
   BinaryReader r(path);
-  r.expect_tag(kCheckpointTag);
+  char tag[4];
+  for (char& c : tag) c = r.read_pod<char>();
+  CodecId saved = CodecId::kNull;
+  if (std::memcmp(tag, kCheckpointTagV2, 4) == 0) {
+    saved = static_cast<CodecId>(r.read_pod<std::uint32_t>());
+  } else {
+    ELREC_CHECK(std::memcmp(tag, kCheckpointTag, 4) == 0,
+                "unrecognized trainer checkpoint tag");
+  }
+  if (saved != config_.codec.id) {
+    throw PipelineError(
+        "resume", -1,
+        "checkpoint '" + path + "' was written under codec '" +
+            codec_name(saved) + "' but this trainer uses '" +
+            codec_name(config_.codec.id) + "' — refusing to resume across "
+            "codecs");
+  }
   const index_t next_batch = r.read_i64();
   std::uint64_t count = 0;
   model_->visit_parameters([&](float*, std::size_t) { ++count; });
@@ -215,19 +262,42 @@ ElRecRunStats ElRecTrainer::train(SyntheticDataset& data, index_t num_batches,
   const std::size_t num_host = host_stores_.size();
   Stopwatch wall;
 
+  // Queue traffic accounting, merged into stats after the threads join.
+  std::atomic<std::uint64_t> encoded_bytes{0};
+  std::atomic<std::uint64_t> raw_bytes{0};
+  auto count_stream = [&](obs::Counter& counter, const EncodedBlob& blob,
+                          std::uint64_t raw) {
+    counter.add(blob.size());
+    encoded_bytes.fetch_add(blob.size(), std::memory_order_relaxed);
+    raw_bytes.fetch_add(raw, std::memory_order_relaxed);
+  };
+
   // ---- Server thread: data loading + parameter service ---------------
   std::thread server([&] {
     index_t current_batch = -1;
     try {
       index_t prefetched = start_batch;
       index_t applied = start_batch;
+      // One codec instance per host-table pull stream (encode is stateful;
+      // each table's parameter scale adapts its own bound).
+      std::vector<std::unique_ptr<IGradCodec>> pull_codecs;
+      for (std::size_t h = 0; h < num_host; ++h) {
+        pull_codecs.push_back(make_codec(config_.codec));
+      }
+      Matrix pulled;
+      Matrix decoded_grads;
 
       auto apply = [&](GradUnit& push) {
         current_batch = push.batch_id;
         TRACE_SPAN("elrec.host_push");
         for (std::size_t h = 0; h < num_host; ++h) {
+          count_stream(elrec_byte_counters().host_push, push.grads[h],
+                       push.indices[h].size() *
+                           static_cast<std::uint64_t>(host_stores_[h]->dim()) *
+                           sizeof(float));
+          decode_blob(push.grads[h], decoded_grads);
           with_retry(config_.host_retry, "host-store push", [&] {
-            host_stores_[h]->apply_gradients(push.indices[h], push.grads[h],
+            host_stores_[h]->apply_gradients(push.indices[h], decoded_grads,
                                              config_.lr);
           });
         }
@@ -254,8 +324,12 @@ ElRecRunStats ElRecTrainer::train(SyntheticDataset& data, index_t num_batches,
                   build_unique_index_map(pf.batch.sparse[t].indices);
               pf.host_unique[h] = umap.unique;
               with_retry(config_.host_retry, "host-store pull", [&] {
-                host_stores_[h]->pull(pf.host_unique[h], pf.host_rows[h]);
+                host_stores_[h]->pull(pf.host_unique[h], pulled);
               });
+              pull_codecs[h]->encode(pulled, pf.host_rows[h]);
+              count_stream(
+                  elrec_byte_counters().host_pull, pf.host_rows[h],
+                  static_cast<std::uint64_t>(pulled.size()) * sizeof(float));
             }
           }
           ++prefetched;
@@ -291,11 +365,13 @@ ElRecRunStats ElRecTrainer::train(SyntheticDataset& data, index_t num_batches,
     prefetch_queue.close();
     gradient_queue.close();
     if (server.joinable()) server.join();
+    Matrix drained;
     while (auto push = gradient_queue.try_pop()) {
       try {
         for (std::size_t h = 0; h < num_host; ++h) {
+          decode_blob(push->grads[h], drained);
           with_retry(config_.host_retry, "host-store push (drain)", [&] {
-            host_stores_[h]->apply_gradients(push->indices[h], push->grads[h],
+            host_stores_[h]->apply_gradients(push->indices[h], drained,
                                              config_.lr);
           });
         }
@@ -334,8 +410,17 @@ ElRecRunStats ElRecTrainer::train(SyntheticDataset& data, index_t num_batches,
   caches.reserve(num_host);
   for (std::size_t h = 0; h < num_host; ++h) {
     caches.emplace_back(config_.model.embedding_dim,
-                        config_.queue_capacity + 1);
+                        config_.queue_capacity + 1, config_.codec);
   }
+  // One codec instance per host-table gradient stream, plus scratch for
+  // the decode sides.
+  std::vector<std::unique_ptr<IGradCodec>> grad_codecs;
+  for (std::size_t h = 0; h < num_host; ++h) {
+    grad_codecs.push_back(make_codec(config_.codec));
+  }
+  const bool lossless = config_.codec.lossless();
+  Matrix decoded_rows;
+  Matrix grads_seen_by_host;
 
   for (index_t b = start_batch; b < num_batches; ++b) {
     Prefetched pf;
@@ -367,16 +452,18 @@ ElRecRunStats ElRecTrainer::train(SyntheticDataset& data, index_t num_batches,
 
     GradUnit push;
     try {
-      // Step 1: synchronize prefetched host rows against the caches.
+      // Step 1: decode the prefetched host rows and synchronize them
+      // against the caches.
       {
         TRACE_SPAN("elrec.cache_sync");
         for (std::size_t h = 0; h < num_host; ++h) {
+          decode_blob(pf.host_rows[h], decoded_rows);
           if (config_.use_embedding_cache) {
             stats.rows_patched +=
-                caches[h].sync(pf.host_unique[h], pf.host_rows[h]);
+                caches[h].sync(pf.host_unique[h], decoded_rows);
           }
           host_clients_[h]->install(pf.host_unique[h],
-                                    std::move(pf.host_rows[h]));
+                                    std::move(decoded_rows));
         }
       }
 
@@ -390,15 +477,27 @@ ElRecRunStats ElRecTrainer::train(SyntheticDataset& data, index_t num_batches,
         stats.final_loss = loss;
       }
 
-      // Step 3: push host-table gradients; refresh the caches.
+      // Step 3: encode and push host-table gradients; refresh the caches
+      // with the update the host will actually apply (the codec round trip
+      // of the gradients, when lossy).
       TRACE_SPAN("elrec.cache_update");
       push.batch_id = pf.batch_id;
       push.indices.resize(num_host);
       push.grads.resize(num_host);
       for (std::size_t h = 0; h < num_host; ++h) {
         push.indices[h] = host_clients_[h]->captured_indices();
-        push.grads[h] = host_clients_[h]->captured_grads();
+        grad_codecs[h]->encode(host_clients_[h]->captured_grads(),
+                               push.grads[h]);
+        count_stream(elrec_byte_counters().grad_push, push.grads[h],
+                     static_cast<std::uint64_t>(
+                         host_clients_[h]->captured_grads().size()) *
+                         sizeof(float));
         if (config_.use_embedding_cache) {
+          if (!lossless) {
+            decode_blob(push.grads[h], grads_seen_by_host);
+            host_clients_[h]->apply_decoded_update(grads_seen_by_host,
+                                                   config_.lr);
+          }
           caches[h].insert(push.indices[h], host_clients_[h]->updated_rows(),
                            pf.batch_id);
           caches[h].retire_batch(
@@ -451,6 +550,8 @@ ElRecRunStats ElRecTrainer::train(SyntheticDataset& data, index_t num_batches,
     stats.cache_peak = std::max(stats.cache_peak, cache.peak_size());
   }
   stats.wall_seconds = wall.seconds();
+  stats.encoded_queue_bytes = encoded_bytes.load(std::memory_order_relaxed);
+  stats.raw_queue_bytes = raw_bytes.load(std::memory_order_relaxed);
   return stats;
 }
 

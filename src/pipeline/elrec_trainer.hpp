@@ -46,6 +46,12 @@ struct ElRecTrainerConfig {
   // plus every host store to checkpoint_path (0 = off).
   index_t checkpoint_every_n = 0;
   std::string checkpoint_path;
+
+  // Codec for the host-table queue streams (prefetched rows + pushed
+  // gradients). Null (default) keeps the run bitwise-identical to the
+  // uncompressed trainer; checkpoints record the codec id and resume()
+  // refuses a checkpoint written under a different codec.
+  CodecConfig codec;
 };
 
 /// Chooses placements the way the paper does: tables above `tt_threshold`
@@ -86,6 +92,12 @@ class HostTableClient final : public IEmbeddingTable {
   /// Post-update row values (rows - lr * grads) for the embedding cache.
   const Matrix& updated_rows() const { return updated_; }
 
+  /// Recomputes updated_rows() from the installed rows and `grads` — the
+  /// gradients as the host will see them after a lossy codec round trip —
+  /// so the worker's cache tracks the host store, not the exact gradients
+  /// that were never sent.
+  void apply_decoded_update(const Matrix& grads, float lr);
+
  private:
   index_t num_rows_;
   index_t dim_;
@@ -104,6 +116,10 @@ struct ElRecRunStats {
   index_t rows_patched = 0;   // RAW repairs performed by the caches
   std::size_t cache_peak = 0;
   index_t checkpoints_written = 0;
+  // Encoded bytes that crossed the queues this run, and the raw fp32 cost
+  // of the same tensors (bytes-on-queue reduction = raw / encoded).
+  std::uint64_t encoded_queue_bytes = 0;
+  std::uint64_t raw_queue_bytes = 0;
 };
 
 class ElRecTrainer {
@@ -130,17 +146,18 @@ class ElRecTrainer {
   std::size_t device_embedding_bytes() const;
 
  private:
-  // One prefetched unit traveling through the queue.
+  // One prefetched unit traveling through the queue. Tensor payloads cross
+  // the queues encoded; the null codec makes the round trip bitwise-exact.
   struct Prefetched {
     index_t batch_id = 0;
     MiniBatch batch;
     std::vector<std::vector<index_t>> host_unique;  // per host table
-    std::vector<Matrix> host_rows;
+    std::vector<EncodedBlob> host_rows;
   };
   struct GradUnit {
     index_t batch_id = 0;
     std::vector<std::vector<index_t>> indices;
-    std::vector<Matrix> grads;
+    std::vector<EncodedBlob> grads;
   };
 
   /// Atomically persists model parameters + host stores + `next_batch`.

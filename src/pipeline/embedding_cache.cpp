@@ -24,12 +24,22 @@ CacheCounters& cache_counters() {
   return c;
 }
 
+obs::Counter& cache_sync_bytes() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pipeline.bytes.cache_sync");
+  return c;
+}
+
 }  // namespace
 
-EmbeddingCache::EmbeddingCache(index_t dim, index_t lc_init)
+EmbeddingCache::EmbeddingCache(index_t dim, index_t lc_init,
+                               const CodecConfig& codec)
     : dim_(dim), lc_init_(lc_init) {
   ELREC_CHECK(dim > 0, "cache dim must be positive");
   ELREC_CHECK(lc_init > 0, "life-cycle init must be positive");
+  // A lossless codec round trip is the identity — skip it entirely so the
+  // default cache stays byte-for-byte the pre-codec implementation.
+  if (!codec.lossless()) codec_ = make_codec(codec);
 }
 
 index_t EmbeddingCache::sync(const std::vector<index_t>& indices,
@@ -56,10 +66,19 @@ void EmbeddingCache::insert(const std::vector<index_t>& indices,
   ELREC_CHECK(values.rows() == static_cast<index_t>(indices.size()) &&
                   values.cols() == dim_,
               "values shape mismatch in cache insert");
+  const Matrix* stored = &values;
+  if (codec_) {
+    // Hold the rows at codec precision: what a wire-format device cache
+    // would return on sync.
+    codec_->encode(values, blob_);
+    cache_sync_bytes().add(blob_.size());
+    decode_blob(blob_, roundtrip_);
+    stored = &roundtrip_;
+  }
   for (std::size_t i = 0; i < indices.size(); ++i) {
     Entry& e = entries_[indices[i]];
-    e.value.assign(values.row(static_cast<index_t>(i)),
-                   values.row(static_cast<index_t>(i)) + dim_);
+    e.value.assign(stored->row(static_cast<index_t>(i)),
+                   stored->row(static_cast<index_t>(i)) + dim_);
     e.lc = lc_init_;  // refresh the life cycle on every write
     e.last_write_batch = batch_id;
   }

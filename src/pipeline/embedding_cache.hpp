@@ -9,9 +9,11 @@
 // at LC 0 it is evicted (no in-flight prefetch can still hold a stale copy).
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "codec/grad_codec.hpp"
 #include "tensor/matrix.hpp"
 
 namespace elrec {
@@ -24,7 +26,13 @@ namespace elrec {
 // ELREC_SANITIZE=thread) would flag as a data race.
 class EmbeddingCache {
  public:
-  EmbeddingCache(index_t dim, index_t lc_init);
+  /// `codec` (optional) makes the cache hold its rows at codec precision: a
+  /// lossy codec round-trips every inserted row block, so cached values are
+  /// exactly what a device cache stored in the codec's wire format would
+  /// return, and the encoded footprint feeds pipeline.bytes.cache_sync.
+  /// The default (null codec) caches verbatim — bitwise-identical to the
+  /// pre-codec cache, with no encode on the insert path at all.
+  EmbeddingCache(index_t dim, index_t lc_init, const CodecConfig& codec = {});
 
   index_t dim() const { return dim_; }
 
@@ -55,6 +63,9 @@ class EmbeddingCache {
 
   index_t dim_;
   index_t lc_init_;
+  std::unique_ptr<IGradCodec> codec_;  // null when caching verbatim
+  EncodedBlob blob_;                   // insert-path scratch
+  Matrix roundtrip_;
   std::unordered_map<index_t, Entry> entries_;
   std::size_t peak_size_ = 0;
 };

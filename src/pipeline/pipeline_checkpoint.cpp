@@ -1,20 +1,31 @@
 #include "pipeline/pipeline_checkpoint.hpp"
 
+#include <cstring>
+
 #include "common/serialize.hpp"
+#include "pipeline/pipeline_error.hpp"
 
 namespace elrec {
 
 namespace {
-constexpr char kTag[4] = {'E', 'P', 'C', '1'};
-}
+constexpr char kTagV1[4] = {'E', 'P', 'C', '1'};  // legacy, null codec only
+constexpr char kTagV2[4] = {'E', 'P', 'C', '2'};  // + u32 codec id
+}  // namespace
 
 void save_pipeline_checkpoint(const HostEmbeddingStore& store,
-                              index_t next_batch, const std::string& path) {
+                              index_t next_batch, const std::string& path,
+                              CodecId codec) {
   // store.weights() is the quiescent-only lock-free view (see its
   // annotation): the trainers call this only after every gradient up to
   // `next_batch - 1` has been applied and no pull is in flight.
   write_checkpoint_atomic(path, [&](BinaryWriter& w) {
-    w.write_tag(kTag);
+    if (codec == CodecId::kNull) {
+      // Null-codec runs keep the legacy byte-identical format.
+      w.write_tag(kTagV1);
+    } else {
+      w.write_tag(kTagV2);
+      w.write_pod(static_cast<std::uint32_t>(codec));
+    }
     w.write_i64(next_batch);
     w.write_i64(store.num_rows());
     w.write_i64(store.dim());
@@ -24,9 +35,24 @@ void save_pipeline_checkpoint(const HostEmbeddingStore& store,
 }
 
 index_t load_pipeline_checkpoint(HostEmbeddingStore& store,
-                                 const std::string& path) {
+                                 const std::string& path, CodecId codec) {
   BinaryReader r(path);
-  r.expect_tag(kTag);
+  char tag[4];
+  for (char& c : tag) c = r.read_pod<char>();
+  CodecId saved = CodecId::kNull;
+  if (std::memcmp(tag, kTagV2, 4) == 0) {
+    saved = static_cast<CodecId>(r.read_pod<std::uint32_t>());
+  } else {
+    ELREC_CHECK(std::memcmp(tag, kTagV1, 4) == 0,
+                "unrecognized pipeline checkpoint tag");
+  }
+  if (saved != codec) {
+    throw PipelineError(
+        "resume", -1,
+        "checkpoint '" + path + "' was written under codec '" +
+            codec_name(saved) + "' but this run uses '" + codec_name(codec) +
+            "' — refusing to resume across codecs");
+  }
   const index_t next_batch = r.read_i64();
   const index_t rows = r.read_i64();
   const index_t dim = r.read_i64();

@@ -6,21 +6,32 @@
 // footer + atomic rename, so a crash at any instant leaves either the old
 // or the new checkpoint fully loadable, never a torn file. Replaying the
 // batch stream from `next_batch` reproduces the uninterrupted run exactly.
+//
+// Codec provenance: a run under the null codec writes the legacy 'EPC1'
+// format, byte-identical to pre-codec checkpoints. A lossy run writes
+// 'EPC2', which additionally records the codec id; loading under a
+// different codec throws a structured PipelineError instead of silently
+// resuming a stream whose error budget the new codec would not honour.
 #pragma once
 
 #include <string>
 
+#include "codec/grad_codec.hpp"
 #include "pipeline/host_embedding_store.hpp"
+#include "pipeline/pipeline_error.hpp"  // load throws PipelineError on codec mismatch
 
 namespace elrec {
 
 /// Atomically persists the store plus the id of the next batch to run.
 void save_pipeline_checkpoint(const HostEmbeddingStore& store,
-                              index_t next_batch, const std::string& path);
+                              index_t next_batch, const std::string& path,
+                              CodecId codec = CodecId::kNull);
 
 /// Restores weights into a shape-identical store; returns `next_batch`.
-/// Throws on missing, truncated, or corrupt files.
+/// Throws on missing, truncated, or corrupt files, and PipelineError when
+/// the checkpoint was written under a different codec than `codec`.
 index_t load_pipeline_checkpoint(HostEmbeddingStore& store,
-                                 const std::string& path);
+                                 const std::string& path,
+                                 CodecId codec = CodecId::kNull);
 
 }  // namespace elrec

@@ -6,12 +6,29 @@
 
 #include "common/fault_injector.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/pipeline_checkpoint.hpp"
 
 namespace elrec {
 
 namespace {
+
+// Bytes-on-queue accounting for the three host-facing streams. These are
+// the numbers the simulator's framework cost model and bench_codec consume.
+struct PipelineByteCounters {
+  obs::Counter& grad_push;  // worker -> gradient queue (encoded)
+  obs::Counter& host_push;  // gradient queue -> host store (encoded)
+  obs::Counter& host_pull;  // host store -> prefetch queue (encoded)
+};
+
+PipelineByteCounters& pipeline_byte_counters() {
+  auto& reg = obs::MetricsRegistry::global();
+  static PipelineByteCounters c{reg.counter("pipeline.bytes.grad_push"),
+                                reg.counter("pipeline.bytes.host_push"),
+                                reg.counter("pipeline.bytes.host_pull")};
+  return c;
+}
 
 std::string describe_exception(const std::exception_ptr& ep) {
   try {
@@ -35,7 +52,7 @@ PipelineTrainer::PipelineTrainer(HostEmbeddingStore& store,
 }
 
 index_t PipelineTrainer::resume(const std::string& path) {
-  return load_pipeline_checkpoint(store_, path);
+  return load_pipeline_checkpoint(store_, path, config_.codec.id);
 }
 
 PipelineStats PipelineTrainer::run(
@@ -64,6 +81,16 @@ PipelineStats PipelineTrainer::run(
 
   std::atomic<index_t> checkpoints_written{0};
 
+  // Queue traffic accounting, merged into stats after the threads join.
+  std::atomic<std::uint64_t> encoded_bytes{0};
+  std::atomic<std::uint64_t> raw_bytes{0};
+  auto count_stream = [&](obs::Counter& counter, const EncodedBlob& blob,
+                          std::uint64_t raw) {
+    counter.add(blob.size());
+    encoded_bytes.fetch_add(blob.size(), std::memory_order_relaxed);
+    raw_bytes.fetch_add(raw, std::memory_order_relaxed);
+  };
+
   Stopwatch wall;
 
   // ---- Server thread (paper Fig. 9, CPU side) ------------------------
@@ -73,14 +100,24 @@ PipelineStats PipelineTrainer::run(
     try {
       index_t next_prefetch = start_batch;
       index_t grads_applied = start_batch;
+      // Per-thread codec instance for the host_pull stream (encode is
+      // stateful); pushed gradient blobs decode via the stateless free
+      // function, so they can be produced by the worker's instance.
+      auto pull_codec = make_codec(config_.codec);
+      Matrix pulled;
+      Matrix decoded_grads;
 
       auto apply = [&](GradientPush& push) {
         stage = "server";
         current_batch = push.batch_id;
+        count_stream(pipeline_byte_counters().host_push, push.grads,
+                     push.indices.size() * static_cast<std::uint64_t>(
+                                               store_.dim()) * sizeof(float));
+        decode_blob(push.grads, decoded_grads);
         {
           TRACE_SPAN("pipeline.host_push");
           with_retry(config_.host_retry, "host-store push", [&] {
-            store_.apply_gradients(push.indices, push.grads, config_.lr);
+            store_.apply_gradients(push.indices, decoded_grads, config_.lr);
           });
         }
         applied_batch_id.store(push.batch_id, std::memory_order_release);
@@ -94,7 +131,7 @@ PipelineStats PipelineTrainer::run(
           stage = "checkpoint";
           TRACE_SPAN("pipeline.checkpoint");
           save_pipeline_checkpoint(store_, push.batch_id + 1,
-                                   config_.checkpoint_path);
+                                   config_.checkpoint_path, config_.codec.id);
           checkpoints_written.fetch_add(1, std::memory_order_relaxed);
           stage = "server";
         }
@@ -114,8 +151,12 @@ PipelineStats PipelineTrainer::run(
           {
             TRACE_SPAN("pipeline.host_pull");
             with_retry(config_.host_retry, "host-store pull",
-                       [&] { store_.pull(pb.indices, pb.rows); });
+                       [&] { store_.pull(pb.indices, pulled); });
           }
+          pull_codec->encode(pulled, pb.rows);
+          count_stream(pipeline_byte_counters().host_pull, pb.rows,
+                       static_cast<std::uint64_t>(pulled.size()) *
+                           sizeof(float));
           ++next_prefetch;
           if (!prefetch_queue.push(std::move(pb))) return;
         } else if (grads_applied < total) {
@@ -143,10 +184,12 @@ PipelineStats PipelineTrainer::run(
     prefetch_queue.close();
     gradient_queue.close();
     if (server.joinable()) server.join();
+    Matrix drained;
     while (auto push = gradient_queue.try_pop()) {
       try {
+        decode_blob(push->grads, drained);
         with_retry(config_.host_retry, "host-store push (drain)", [&] {
-          store_.apply_gradients(push->indices, push->grads, config_.lr);
+          store_.apply_gradients(push->indices, drained, config_.lr);
         });
       } catch (...) {
         break;  // store unusable; the remaining gradients are lost anyway
@@ -169,10 +212,17 @@ PipelineStats PipelineTrainer::run(
   };
 
   // ---- Worker (caller thread; paper Fig. 9, GPU side) -----------------
-  EmbeddingCache cache(store_.dim(), config_.queue_capacity + 1);
+  EmbeddingCache cache(store_.dim(), config_.queue_capacity + 1,
+                       config_.codec);
   Stopwatch worker_watch;
   double worker_busy = 0.0;
+  // Worker-side codec instance for the grad_push stream.
+  auto grad_codec = make_codec(config_.codec);
+  const bool lossless = config_.codec.lossless();
+  Matrix batch_rows;
   Matrix grads;
+  Matrix grads_seen_by_host;
+  EncodedBlob grad_blob;
   Matrix updated;
   for (index_t b = start_batch; b < total; ++b) {
     PrefetchedBatch pb;
@@ -204,30 +254,43 @@ PipelineStats PipelineTrainer::run(
     worker_watch.reset();
 
     try {
+      decode_blob(pb.rows, batch_rows);
+
       // Step 1 (Fig. 9): synchronize prefetched rows with the cache.
       if (config_.use_embedding_cache) {
         TRACE_SPAN("pipeline.cache_sync");
-        stats.rows_patched += cache.sync(pb.indices, pb.rows);
+        stats.rows_patched += cache.sync(pb.indices, batch_rows);
       }
 
       // Compute the batch's gradients on the fresh rows.
       {
         TRACE_SPAN("pipeline.compute");
         ELREC_FAULT_POINT("pipeline.compute");
-        compute(pb.batch_id, pb.indices, pb.rows, grads);
+        compute(pb.batch_id, pb.indices, batch_rows, grads);
       }
       ELREC_CHECK(grads.rows() == static_cast<index_t>(pb.indices.size()) &&
                       grads.cols() == store_.dim(),
                   "compute step produced wrong gradient shape");
 
+      // Encode the gradients for the queue. Under a lossy codec the cache
+      // must be updated with what the HOST will apply — the decoded
+      // gradients — or the worker's cached rows would drift from the host
+      // store by the (unsent) quantization residual every batch.
+      grad_codec->encode(grads, grad_blob);
+      const Matrix* host_grads = &grads;
+      if (!lossless) {
+        decode_blob(grad_blob, grads_seen_by_host);
+        host_grads = &grads_seen_by_host;
+      }
+
       // Worker-side view of the updated rows goes into the cache so the next
       // prefetched batch can be patched (Fig. 10b).
       if (config_.use_embedding_cache) {
         TRACE_SPAN("pipeline.cache_update");
-        updated.resize(pb.rows.rows(), pb.rows.cols());
+        updated.resize(batch_rows.rows(), batch_rows.cols());
         for (index_t i = 0; i < updated.rows(); ++i) {
-          const float* r = pb.rows.row(i);
-          const float* g = grads.row(i);
+          const float* r = batch_rows.row(i);
+          const float* g = host_grads->row(i);
           float* u = updated.row(i);
           for (index_t j = 0; j < updated.cols(); ++j) {
             u[j] = r[j] - config_.lr * g[j];
@@ -240,11 +303,13 @@ PipelineStats PipelineTrainer::run(
       raise("worker", pb.batch_id, std::current_exception());
     }
 
-    // Step 3 (Fig. 9): push gradients to the server.
+    // Step 3 (Fig. 9): push encoded gradients to the server.
     GradientPush push;
     push.batch_id = pb.batch_id;
     push.indices = std::move(pb.indices);
-    push.grads = grads;
+    push.grads = grad_blob;
+    count_stream(pipeline_byte_counters().grad_push, push.grads,
+                 static_cast<std::uint64_t>(grads.size()) * sizeof(float));
     worker_busy += worker_watch.seconds();
     {
       TRACE_SPAN("pipeline.grad_push");
@@ -276,6 +341,8 @@ PipelineStats PipelineTrainer::run(
   stats.checkpoints_written = checkpoints_written.load();
   stats.worker_seconds = worker_busy;
   stats.wall_seconds = wall.seconds();
+  stats.encoded_queue_bytes = encoded_bytes.load(std::memory_order_relaxed);
+  stats.raw_queue_bytes = raw_bytes.load(std::memory_order_relaxed);
   return stats;
 }
 

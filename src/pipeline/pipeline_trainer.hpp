@@ -20,6 +20,7 @@
 #include <functional>
 #include <string>
 
+#include "codec/grad_codec.hpp"
 #include "common/blocking_queue.hpp"
 #include "common/retry.hpp"
 #include "pipeline/embedding_cache.hpp"
@@ -28,16 +29,20 @@
 
 namespace elrec {
 
+// Both queues carry encoded blobs, not raw matrices: every byte crossing a
+// queue goes through the configured codec. Under the (default) null codec
+// the blob is a raw fp32 payload, so the decoded tensors — and hence the
+// whole run — are bitwise-identical to the pre-codec pipeline.
 struct PrefetchedBatch {
   index_t batch_id = 0;
   std::vector<index_t> indices;  // unique rows of this batch
-  Matrix rows;                   // pulled parameters, one row per index
+  EncodedBlob rows;              // encoded pulled parameters, row per index
 };
 
 struct GradientPush {
   index_t batch_id = 0;
   std::vector<index_t> indices;
-  Matrix grads;  // aggregated per-unique-index gradients
+  EncodedBlob grads;  // encoded aggregated per-unique-index gradients
 };
 
 struct PipelineConfig {
@@ -57,6 +62,12 @@ struct PipelineConfig {
   // the host store to checkpoint_path (0 = off).
   index_t checkpoint_every_n = 0;
   std::string checkpoint_path;
+
+  // Codec applied to both queue streams (prefetched rows and pushed
+  // gradients). The default null codec keeps the run bitwise-identical to
+  // an uncompressed pipeline; checkpoints record the codec id and resume()
+  // refuses a checkpoint written under a different codec.
+  CodecConfig codec;
 };
 
 struct PipelineStats {
@@ -66,6 +77,10 @@ struct PipelineStats {
   index_t checkpoints_written = 0;
   double worker_seconds = 0.0;
   double wall_seconds = 0.0;
+  // Bytes that crossed the queues this run (encoded), and what the same
+  // tensors would have cost raw — the bench's bytes-on-queue reduction.
+  std::uint64_t encoded_queue_bytes = 0;
+  std::uint64_t raw_queue_bytes = 0;
 };
 
 /// Computes per-unique-row gradients for one batch: given the (synchronized)

@@ -178,8 +178,9 @@ IterationCost model_elrec_multi(const DlrmWorkload& w, const DeviceSpec& dev,
   IterationCost c = model_elrec(per, dev);
   c.framework = "EL-Rec (" + std::to_string(num_gpus) + " GPU)";
   if (num_gpus > 1) {
-    const double grad_bytes =
-        w.tt_grad_sync_fraction * w.tt_parameter_bytes();
+    const double grad_bytes = w.tt_grad_sync_fraction *
+                              w.tt_parameter_bytes() /
+                              w.comm_compression_ratio;
     // Ring all-reduce drives both NVLink directions; half the wire time
     // overlaps the backward pass (NCCL stream overlap); one collective
     // launch per iteration.
@@ -233,10 +234,12 @@ IterationCost model_elrec_hybrid(const DlrmWorkload& w, const DeviceSpec& dev,
   }
   host_part.table_rows = host_tables;
   c.components["cpu:embedding"] = cpu_embedding_seconds(host_part, host);
-  c.components["cpu:h2d_prefetch"] =
-      pcie_seconds(host_part.pooled_activation_bytes(), dev);
-  c.components["cpu:d2h_grads"] =
-      pcie_seconds(host_part.pooled_activation_bytes(), dev);
+  // The codec shrinks both PCIe streams (prefetched rows down, gradients
+  // up); compute-side terms are untouched.
+  c.components["cpu:h2d_prefetch"] = pcie_seconds(
+      host_part.pooled_activation_bytes() / w.comm_compression_ratio, dev);
+  c.components["cpu:d2h_grads"] = pcie_seconds(
+      host_part.pooled_activation_bytes() / w.comm_compression_ratio, dev);
   c.components["gpu:mlp"] = mlp_gpu_seconds(w, dev);
   c.components["gpu:tt_forward"] = elrec_tt_forward_seconds(w, dev);
   c.components["gpu:tt_backward"] = elrec_tt_backward_seconds(w, dev);

@@ -47,6 +47,12 @@ struct DlrmWorkload {
   // Hot-table skew serializes model-parallel embedding gathers onto the
   // GPU owning the hottest shard.
   double model_parallel_imbalance = 3.0;
+  // Bytes-on-wire reduction of the gradient/parameter codec (raw bytes /
+  // encoded bytes) applied to the host<->device prefetch/gradient streams
+  // and the data-parallel all-reduce. 1.0 == no codec. Benches measure the
+  // real ratio by round-tripping representative tensors through the
+  // src/codec implementation and re-price Figs 11/12 "with codec".
+  double comm_compression_ratio = 1.0;
   // Fixed per-iteration framework cost (Python dispatch, data loader,
   // optimizer bookkeeping) common to all PyTorch-based systems.
   double framework_overhead_s = 0.004;
