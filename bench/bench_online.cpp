@@ -1,0 +1,299 @@
+// Online-training benchmark: what does continuous promotion cost?
+//
+// One process runs the full closed loop — trainer consuming the drifting
+// stream, client threads keeping a RequestScheduler under Zipf load over a
+// HotSwapBackend — in two phases:
+//
+//   steady     train with no promotions (baseline batches/s and serving p99)
+//   promotion  same training interleaved with checkpoint -> promote cycles
+//
+// Reported: training batches/s in each phase (promotion-phase slowdown is
+// the price of checkpoint emission + generation builds sharing the box),
+// serving p99 inside promotion windows vs outside, and the swap pause
+// itself (online.swap_us). Every accepted request must be served in both
+// phases.
+//
+//   --quick   3 promotions, writes BENCH_online.json
+//   (default) 5 promotions, longer steady window
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/eff_tt_table.hpp"
+#include "data/drift.hpp"
+#include "data/synthetic.hpp"
+#include "dlrm/model_checkpoint.hpp"
+#include "obs/metrics.hpp"
+#include "online/hot_swap_backend.hpp"
+#include "online/model_promoter.hpp"
+#include "online/online_trainer.hpp"
+#include "serve/request_scheduler.hpp"
+
+namespace {
+
+using namespace elrec;
+using benchutil::fmt;
+
+constexpr index_t kDense = 13;
+constexpr index_t kDim = 16;
+
+DatasetSpec online_spec() {
+  DatasetSpec spec;
+  spec.name = "online";
+  spec.num_dense = kDense;
+  spec.table_rows = {20000, 8000};
+  spec.num_samples = 1 << 22;
+  spec.zipf_s = 1.05;
+  return spec;
+}
+
+std::unique_ptr<DlrmModel> make_model(const DatasetSpec& spec,
+                                      std::uint64_t seed) {
+  Prng rng(seed);
+  DlrmConfig cfg;
+  cfg.num_dense = kDense;
+  cfg.embedding_dim = kDim;
+  cfg.bottom_hidden = {64, 32};
+  cfg.top_hidden = {64, 32};
+  std::vector<std::unique_ptr<IEmbeddingTable>> tables;
+  for (index_t rows : spec.table_rows) {
+    tables.push_back(std::make_unique<EffTTTable>(
+        rows, TTShape::balanced(rows, kDim, 3, 16), rng));
+  }
+  return std::make_unique<DlrmModel>(cfg, std::move(tables), rng);
+}
+
+struct LatencySample {
+  double us = 0.0;
+  bool during_promotion = false;
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// Closed-loop client: submits single-lookup Zipf requests until told to
+/// stop, recording end-to-end latency tagged with whether a promotion was
+/// in flight at submit or completion time.
+void run_client(RequestScheduler& sched, const DatasetSpec& spec,
+                std::uint64_t seed, const std::atomic<bool>& stop,
+                const std::atomic<bool>& in_promotion,
+                std::vector<LatencySample>& out) {
+  SyntheticDataset data(spec, seed);
+  Prng rng(seed * 7919 + 1);
+  const std::size_t num_tables = spec.table_rows.size();
+  while (!stop.load(std::memory_order_acquire)) {
+    RankingRequest req;
+    req.dense.resize(static_cast<std::size_t>(kDense));
+    for (auto& v : req.dense) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    req.sparse.resize(num_tables);
+    for (std::size_t t = 0; t < num_tables; ++t) {
+      req.sparse[t].push_back(data.sampler(static_cast<index_t>(t)).sample(rng));
+    }
+    const bool promo_before = in_promotion.load(std::memory_order_acquire);
+    std::future<RankingResponse> fut;
+    const auto t0 = std::chrono::steady_clock::now();
+    const SubmitStatus st = sched.submit(std::move(req), fut);
+    if (st == SubmitStatus::kClosed) return;
+    if (st != SubmitStatus::kAccepted) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    (void)fut.get();
+    const double us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    out.push_back(
+        {us, promo_before || in_promotion.load(std::memory_order_acquire)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = benchutil::has_flag(argc, argv, "--quick");
+  const int promotions = quick ? 3 : 5;
+  const int steady_batches = quick ? 60 : 150;
+  const int batches_per_promotion = quick ? 30 : 60;
+  constexpr int kClients = 2;
+
+  benchutil::header("Online training: promotion cost vs steady state");
+  benchutil::note("promotions = " + std::to_string(promotions) +
+                  ", batches/promotion = " +
+                  std::to_string(batches_per_promotion));
+
+  const DatasetSpec spec = online_spec();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "elrec_bench_online").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  DriftScheduleConfig drift;
+  drift.period_batches = 25;
+  drift.max_step_fraction = 0.05;
+  DriftingDataset stream(spec, 3, drift);
+
+  OnlineTrainerConfig tcfg;
+  tcfg.batch_size = 128;
+  tcfg.checkpoint_every_n = 0;  // explicit emits; the bench paces promotions
+  tcfg.checkpoint_dir = dir;
+  OnlineTrainer trainer(make_model(spec, 1), stream, tcfg);
+
+  // Bootstrap generation 0.
+  trainer.train_batches(20);
+  const std::string ckpt0 = trainer.write_checkpoint();
+  ModelPromoterConfig pcfg;
+  pcfg.session.cache.capacity = 2048;
+  pcfg.warm_top_k = 1024;
+  auto gen0 = std::make_shared<ServingGeneration>();
+  gen0->id = 0;
+  gen0->checkpoint_path = ckpt0;
+  {
+    auto m = make_model(spec, 99);
+    load_dlrm_model(*m, ckpt0);
+    gen0->session =
+        std::make_unique<InferenceSession>(std::move(m), pcfg.session);
+  }
+  HotSwapBackend backend(std::move(gen0));
+  ModelPromoter promoter(
+      backend, [&spec] { return make_model(spec, 12345); }, pcfg);
+
+  RequestSchedulerConfig qcfg;
+  qcfg.num_workers = 3;
+  qcfg.max_batch = 16;
+  qcfg.max_wait_us = 100;
+  qcfg.queue_capacity = 512;
+  RequestScheduler sched(backend, qcfg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> in_promotion{false};
+  std::vector<std::vector<LatencySample>> samples(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      run_client(sched, spec, 40 + static_cast<std::uint64_t>(c), stop,
+                 in_promotion, samples[static_cast<std::size_t>(c)]);
+    });
+  }
+
+  // Phase 1: steady state — training under client load, no promotions.
+  const auto s0 = std::chrono::steady_clock::now();
+  trainer.train_batches(steady_batches);
+  const double steady_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - s0)
+          .count();
+  const std::size_t steady_cut_total = [&] {
+    // Samples recorded so far belong to the steady phase; everything after
+    // this point (modulo one in-flight request per client) is churn-phase.
+    std::size_t n = 0;
+    for (const auto& v : samples) n += v.size();
+    return n;
+  }();
+
+  // Phase 2: promotion churn — same training rate target, but every
+  // batches_per_promotion batches a checkpoint is emitted, restored, warmed
+  // and hot-swapped while the clients keep hammering.
+  obs::MetricsRegistry::global().histogram("online.swap_us").reset();
+  const auto p0 = std::chrono::steady_clock::now();
+  for (int p = 0; p < promotions; ++p) {
+    trainer.train_batches(batches_per_promotion);
+    const std::string ckpt = trainer.write_checkpoint();
+    in_promotion.store(true, std::memory_order_release);
+    (void)promoter.promote(ckpt, &trainer.access_stats());
+    in_promotion.store(false, std::memory_order_release);
+  }
+  const double promo_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - p0)
+          .count();
+
+  stop.store(true, std::memory_order_release);
+  for (auto& th : clients) th.join();
+  sched.shutdown();
+
+  // Split the latency stream: the first steady_cut_total samples (in
+  // per-client record order) are steady-phase; of the rest, the
+  // during_promotion tag isolates requests that overlapped a swap window.
+  std::vector<double> steady_lat, churn_lat, swap_window_lat;
+  {
+    std::size_t seen = 0;
+    for (const auto& per_client : samples) {
+      for (const auto& s : per_client) {
+        // Per-client order is chronological; the global cut is approximate
+        // by +-1 in-flight request per client, which is noise at this count.
+        if (seen < steady_cut_total && !s.during_promotion) {
+          steady_lat.push_back(s.us);
+        } else if (s.during_promotion) {
+          swap_window_lat.push_back(s.us);
+        } else {
+          churn_lat.push_back(s.us);
+        }
+        ++seen;
+      }
+    }
+  }
+
+  const auto qs = sched.stats();
+  const auto swap_summary =
+      obs::MetricsRegistry::global().histogram("online.swap_us").summary();
+  const double steady_bps = static_cast<double>(steady_batches) / steady_s;
+  const double promo_bps =
+      static_cast<double>(promotions * batches_per_promotion) / promo_s;
+  const double p99_steady = percentile(steady_lat, 0.99);
+  const double p99_churn = percentile(churn_lat, 0.99);
+  const double p99_swap = percentile(swap_window_lat, 0.99);
+
+  ELREC_CHECK(qs.accepted == qs.served,
+              "accepted requests lost across promotions");
+  ELREC_CHECK(promoter.stats().promotions ==
+                  static_cast<std::uint64_t>(promotions),
+              "a promotion failed");
+
+  std::vector<std::vector<std::string>> table = {
+      {"phase", "batches/s", "p99 us", "samples"},
+      {"steady (no promotions)", fmt(steady_bps, 1), fmt(p99_steady),
+       std::to_string(steady_lat.size())},
+      {"churn, outside swap", fmt(promo_bps, 1), fmt(p99_churn),
+       std::to_string(churn_lat.size())},
+      {"churn, inside swap window", "-", fmt(p99_swap),
+       std::to_string(swap_window_lat.size())},
+  };
+  benchutil::print_table(table);
+  benchutil::note("swap pause: p50 " + fmt(swap_summary.p50) + " us, p99 " +
+                  fmt(swap_summary.p99) + " us over " +
+                  std::to_string(swap_summary.count) + " swaps");
+  benchutil::note("train slowdown under churn: " +
+                  fmt(steady_bps / promo_bps, 2) + "x; serving p99 delta " +
+                  fmt(p99_swap - p99_steady) + " us across the swap");
+
+  benchutil::JsonBenchReport report("online");
+  report.add("steady", {{"batches_per_s", steady_bps},
+                        {"p99_us", p99_steady},
+                        {"samples", static_cast<double>(steady_lat.size())}});
+  report.add("promotion_churn",
+             {{"batches_per_s", promo_bps},
+              {"train_slowdown_x", steady_bps / promo_bps},
+              {"p99_outside_swap_us", p99_churn},
+              {"p99_inside_swap_us", p99_swap},
+              {"p99_delta_us", p99_swap - p99_steady},
+              {"promotions", static_cast<double>(promotions)},
+              {"swap_p50_us", swap_summary.p50},
+              {"swap_p99_us", swap_summary.p99},
+              {"accepted", static_cast<double>(qs.accepted)},
+              {"served", static_cast<double>(qs.served)},
+              {"shed", static_cast<double>(qs.shed)}});
+  if (quick) report.write();
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -20,6 +20,12 @@
 #                                    # (bytes-on-queue reduction + loss delta
 #                                    # vs the null codec), then the codec
 #                                    # round-trip/checkpoint/all-reduce suites
+#   scripts/check.sh --online        # online-training smoke: online_demo
+#                                    # (train->checkpoint->promote loop with
+#                                    # live clients + one injected promoter
+#                                    # kill), the online/drift suites, then
+#                                    # the full promotion soak (the "soak"
+#                                    # ctest label tier-1 excludes)
 #   BUILD_DIR=build-tsan scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -74,6 +80,9 @@ if [[ "$MODE" == "--analyze" ]]; then
     cmake -B "$san_dir" -S . -DELREC_SANITIZE="$san"
     cmake --build "$san_dir" -j"$JOBS"
     ctest --test-dir "$san_dir" -L sanitize --output-on-failure -j"$JOBS"
+    # The promotion soak (>= 3 hot swaps under sustained client load) is the
+    # data-race honeypot this matrix exists for; run it under every mode.
+    ctest --test-dir "$san_dir" -L soak --output-on-failure
   done
 
   echo "analyze matrix OK (lint + TSan + ASan + UBSan)"
@@ -114,8 +123,28 @@ if [[ "$MODE" == "--codec" ]]; then
   exit 0
 fi
 
-echo "== tier-1: full test suite =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+if [[ "$MODE" == "--online" ]]; then
+  echo "== online-training smoke: train -> checkpoint -> promote, live =="
+  # online_demo --smoke runs the closed loop end to end: continuous trainer
+  # on the drifting stream, scheduled promotions under client load, one
+  # promoter kill at the commit fault site (armed through ELREC_FAULT_SITES
+  # semantics inside the demo), and exits non-zero unless every accepted
+  # request is answered by a coherent generation.
+  "$BUILD_DIR/examples/online_demo" --smoke
+
+  echo "== online/drift/cache sanitize suites =="
+  ctest --test-dir "$BUILD_DIR" -L sanitize \
+    -R 'HotSwap|ModelPromoter|OnlineTrainer|Drift|AccessStats|ServingCache' \
+    --output-on-failure -j"$JOBS"
+
+  echo "== promotion soak (>= 3 hot swaps under sustained load) =="
+  ctest --test-dir "$BUILD_DIR" -L soak --output-on-failure
+  echo "online smoke OK"
+  exit 0
+fi
+
+echo "== tier-1: full test suite (soak excluded — see --online) =="
+ctest --test-dir "$BUILD_DIR" -LE soak --output-on-failure -j"$JOBS"
 
 echo "== sanitize-labelled concurrency suites =="
 ctest --test-dir "$BUILD_DIR" -L sanitize --output-on-failure -j"$JOBS"

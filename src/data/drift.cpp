@@ -1,0 +1,78 @@
+#include "data/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace elrec {
+namespace {
+
+// splitmix64 finalizer — the schedule's only source of randomness, keyed on
+// (seed, table, step) so offsets are a pure function of the schedule.
+std::uint64_t drift_hash(std::uint64_t seed, std::uint64_t table,
+                         std::uint64_t step) {
+  std::uint64_t x = seed ^ (table * 0x9e3779b97f4a7c15ULL) ^
+                    (step * 0xbf58476d1ce4e5b9ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+DriftSchedule::DriftSchedule(DriftScheduleConfig config,
+                             std::vector<index_t> table_rows)
+    : config_(config), table_rows_(std::move(table_rows)) {
+  ELREC_CHECK(config_.period_batches >= 0,
+              "drift period must be non-negative");
+  ELREC_CHECK(config_.max_step_fraction >= 0.0 &&
+                  config_.max_step_fraction <= 1.0,
+              "drift step fraction must be in [0, 1]");
+  for (index_t rows : table_rows_) {
+    ELREC_CHECK(rows > 0, "drift schedule needs non-empty tables");
+  }
+}
+
+index_t DriftSchedule::offset_at(index_t table, index_t step) const {
+  ELREC_CHECK(table >= 0 &&
+                  table < static_cast<index_t>(table_rows_.size()),
+              "drift table out of range");
+  if (config_.period_batches <= 0 || step <= 0) return 0;
+  const index_t rows = table_rows_[static_cast<std::size_t>(table)];
+  const auto max_step = static_cast<std::uint64_t>(std::max(
+      1.0, std::floor(config_.max_step_fraction * static_cast<double>(rows))));
+  std::uint64_t offset = 0;
+  for (index_t k = 1; k <= step; ++k) {
+    // Stride in [1, max_step]; summed strides make drift cumulative.
+    offset += 1 + drift_hash(config_.seed,
+                             static_cast<std::uint64_t>(table),
+                             static_cast<std::uint64_t>(k)) %
+                      max_step;
+  }
+  return static_cast<index_t>(offset % static_cast<std::uint64_t>(rows));
+}
+
+DriftingDataset::DriftingDataset(DatasetSpec spec, std::uint64_t seed,
+                                 DriftScheduleConfig drift)
+    : base_(std::move(spec), seed),
+      schedule_(drift, base_.spec().table_rows) {}
+
+void DriftingDataset::apply_step(index_t step) {
+  for (index_t t = 0; t < base_.spec().num_tables(); ++t) {
+    base_.set_rank_offset(t, schedule_.offset_at(t, step));
+  }
+  applied_step_ = step;
+}
+
+MiniBatch DriftingDataset::next_batch(index_t batch_size) {
+  const index_t step = schedule_.step_at(batches_served_);
+  if (step != applied_step_) apply_step(step);
+  ++batches_served_;
+  return base_.next_batch(batch_size);
+}
+
+}  // namespace elrec

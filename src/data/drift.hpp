@@ -1,0 +1,101 @@
+// Streaming, non-stationary variant of the Criteo-like generator.
+//
+// Real recommendation traffic is not stationary: which items are popular
+// moves over hours and days, which is exactly what makes closed-loop online
+// training (src/online) worth doing — a model frozen at deploy time decays
+// as the hot set migrates away from the rows it learned well and the
+// serving caches warmed at startup stop matching the traffic.
+//
+// DriftingDataset reproduces that as *popularity drift*: every
+// `period_batches` batches the per-table popularity ranking rotates by a
+// seeded pseudo-random stride (SyntheticDataset::set_rank_offset), so the
+// Zipf head slides through the vocabulary while every index keeps its
+// hidden teacher score — item semantics are fixed, only "what is hot"
+// changes. The schedule is a pure function of (seed, table, step): two
+// datasets with the same spec/seed/schedule produce bitwise-identical
+// streams regardless of wall clock or thread count, so online-training runs
+// stay exactly reproducible.
+#pragma once
+
+#include "data/synthetic.hpp"
+
+namespace elrec {
+
+struct DriftScheduleConfig {
+  /// Batches between drift steps. 0 disables drift entirely (the stream is
+  /// then bitwise-identical to the stationary SyntheticDataset).
+  index_t period_batches = 64;
+  /// Largest rank rotation per step, as a fraction of the table's rows.
+  /// Each step advances the offset by a seeded stride in [1, max(1,
+  /// fraction * rows)]; small fractions give gradual drift, 0.5+ scrambles
+  /// the hot set within a couple of steps.
+  double max_step_fraction = 0.05;
+  std::uint64_t seed = 0x0d21f7ULL;
+};
+
+/// Deterministic per-table drift schedule: cumulative rank-rotation offsets
+/// derived by hashing (seed, table, step). Pure — no internal state — so
+/// any batch position can be queried directly.
+class DriftSchedule {
+ public:
+  DriftSchedule(DriftScheduleConfig config, std::vector<index_t> table_rows);
+
+  const DriftScheduleConfig& config() const { return config_; }
+
+  /// Drift step active at batch index `batch` (0-based).
+  index_t step_at(index_t batch) const {
+    return config_.period_batches <= 0 ? 0 : batch / config_.period_batches;
+  }
+
+  /// Cumulative rank-rotation offset of `table` at drift step `step`
+  /// (already reduced modulo the table's rows). O(step) — steps advance
+  /// every period_batches batches, so callers cache per-table offsets and
+  /// recompute only on a step change.
+  index_t offset_at(index_t table, index_t step) const;
+
+ private:
+  DriftScheduleConfig config_;
+  std::vector<index_t> table_rows_;
+};
+
+/// SyntheticDataset with the drift schedule applied between batches. The
+/// stream is infinite and single-threaded like the base generator;
+/// determinism is the (seed, drift config) pair.
+class DriftingDataset {
+ public:
+  DriftingDataset(DatasetSpec spec, std::uint64_t seed,
+                  DriftScheduleConfig drift);
+
+  const DatasetSpec& spec() const { return base_.spec(); }
+  const DriftSchedule& schedule() const { return schedule_; }
+  index_t batches_served() const { return batches_served_; }
+
+  /// Next training batch; advances the drift schedule first when a period
+  /// boundary was crossed.
+  MiniBatch next_batch(index_t batch_size);
+
+  /// Current rank-rotation offset of one table (for tests/diagnostics).
+  index_t current_offset(index_t table) const {
+    return base_.rank_offset(table);
+  }
+
+  /// The wrapped stationary generator (eval batches, samplers, teacher).
+  /// Mutating its rank offsets directly would desynchronize the schedule;
+  /// use next_batch() to advance.
+  const SyntheticDataset& base() const { return base_; }
+
+  /// Deterministic evaluation set drawn from the *current* drift position.
+  MiniBatch eval_batch(index_t batch_size, std::uint64_t salt = 0) const {
+    return base_.eval_batch(batch_size, salt);
+  }
+
+ private:
+  void apply_step(index_t step);
+
+  SyntheticDataset base_;
+  DriftSchedule schedule_;
+  index_t batches_served_ = 0;
+  index_t applied_step_ = 0;
+};
+
+}  // namespace elrec

@@ -66,6 +66,85 @@ std::vector<index_t> top_accessed_indices(SyntheticDataset& data, index_t t,
   return hot;
 }
 
+AccessStats::AccessStats(std::vector<index_t> table_rows) {
+  ELREC_CHECK(!table_rows.empty(), "access stats need at least one table");
+  counts_.reserve(table_rows.size());
+  for (index_t rows : table_rows) {
+    ELREC_CHECK(rows > 0, "access stats need non-empty tables");
+    counts_.emplace_back(static_cast<std::size_t>(rows), 0);
+  }
+  totals_.assign(table_rows.size(), 0);
+}
+
+void AccessStats::observe(const MiniBatch& batch) {
+  ELREC_CHECK(batch.sparse.size() == counts_.size(),
+              "batch table count does not match access stats");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t t = 0; t < batch.sparse.size(); ++t) {
+    auto& c = counts_[t];
+    for (index_t idx : batch.sparse[t].indices) {
+      ELREC_DCHECK(idx >= 0 &&
+                   idx < static_cast<index_t>(c.size()));
+      ++c[static_cast<std::size_t>(idx)];
+    }
+    totals_[t] += batch.sparse[t].indices.size();
+  }
+}
+
+void AccessStats::observe_table(index_t t, const std::vector<index_t>& indices) {
+  ELREC_CHECK(t >= 0 && t < num_tables(), "access stats table out of range");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& c = counts_[static_cast<std::size_t>(t)];
+  for (index_t idx : indices) {
+    ELREC_DCHECK(idx >= 0 && idx < static_cast<index_t>(c.size()));
+    ++c[static_cast<std::size_t>(idx)];
+  }
+  totals_[static_cast<std::size_t>(t)] += indices.size();
+}
+
+void AccessStats::decay() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counts_) {
+    for (auto& v : c) v >>= 1;
+  }
+}
+
+std::vector<index_t> AccessStats::top_k(index_t t, index_t k) const {
+  ELREC_CHECK(t >= 0 && t < num_tables(), "access stats table out of range");
+  ELREC_CHECK(k >= 0, "hot-set size must be non-negative");
+  std::vector<std::pair<std::uint64_t, index_t>> freq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto& c = counts_[static_cast<std::size_t>(t)];
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (c[i] > 0) freq.emplace_back(c[i], static_cast<index_t>(i));
+    }
+  }
+  std::sort(freq.begin(), freq.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  std::vector<index_t> hot;
+  hot.reserve(static_cast<std::size_t>(k));
+  for (std::size_t i = 0;
+       i < freq.size() && hot.size() < static_cast<std::size_t>(k); ++i) {
+    hot.push_back(freq[i].second);
+  }
+  return hot;
+}
+
+std::vector<std::vector<index_t>> AccessStats::top_k_all(index_t k) const {
+  std::vector<std::vector<index_t>> out;
+  out.reserve(static_cast<std::size_t>(num_tables()));
+  for (index_t t = 0; t < num_tables(); ++t) out.push_back(top_k(t, k));
+  return out;
+}
+
+std::uint64_t AccessStats::total(index_t t) const {
+  ELREC_CHECK(t >= 0 && t < num_tables(), "access stats table out of range");
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_[static_cast<std::size_t>(t)];
+}
+
 double avg_unique_indices_per_batch(SyntheticDataset& data, index_t t,
                                     index_t batch_size, index_t num_batches) {
   ELREC_CHECK(num_batches > 0, "need at least one batch");

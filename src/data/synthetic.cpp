@@ -37,6 +37,7 @@ SyntheticDataset::SyntheticDataset(DatasetSpec spec, std::uint64_t seed)
     samplers_.emplace_back(spec_.table_rows[static_cast<std::size_t>(t)],
                            spec_.zipf_s, sampler_rng);
   }
+  rank_offset_.assign(static_cast<std::size_t>(spec_.num_tables()), 0);
 
   Prng teacher_rng(teacher_seed_);
   dense_teacher_.resize(static_cast<std::size_t>(spec_.num_dense));
@@ -78,27 +79,40 @@ float SyntheticDataset::label_logit(const float* dense,
   return z;
 }
 
+void SyntheticDataset::set_rank_offset(index_t table, index_t offset) {
+  ELREC_CHECK(table >= 0 && table < spec_.num_tables(),
+              "rank offset table out of range");
+  const index_t n = samplers_[static_cast<std::size_t>(table)].num_items();
+  ELREC_CHECK(offset >= 0, "rank offset must be non-negative");
+  rank_offset_[static_cast<std::size_t>(table)] = offset % n;
+}
+
 index_t SyntheticDataset::draw_index(index_t table, Prng& rng,
                                      index_t session) const {
   const ZipfSampler& sampler = samplers_[static_cast<std::size_t>(table)];
   const index_t n = sampler.num_items();
+  const index_t offset = rank_offset_[static_cast<std::size_t>(table)];
   const auto hot = static_cast<index_t>(
       std::max(1.0, spec_.hot_ratio * static_cast<double>(n)));
   // Session draw: uniform over the session's chunk of the cold rank region.
+  index_t rank = -1;
   if (spec_.locality_groups > 1 && n > hot + spec_.locality_groups &&
       rng.uniform() < spec_.locality_fraction) {
     const index_t cold = n - hot;
     const index_t group = session % spec_.locality_groups;
     const index_t group_size = cold / spec_.locality_groups;
     if (group_size > 0) {
-      const index_t rank =
-          hot + group * group_size +
-          static_cast<index_t>(rng.uniform_index(
-              static_cast<std::uint64_t>(group_size)));
-      return sampler.index_at_rank(rank);
+      rank = hot + group * group_size +
+             static_cast<index_t>(rng.uniform_index(
+                 static_cast<std::uint64_t>(group_size)));
     }
   }
-  return sampler.sample(rng);
+  if (rank < 0) {
+    const index_t idx = sampler.sample(rng);
+    if (offset == 0) return idx;  // stationary fast path, bit-identical
+    rank = sampler.rank_of(idx);
+  }
+  return sampler.index_at_rank((rank + offset) % n);
 }
 
 MiniBatch SyntheticDataset::make_batch(index_t batch_size, Prng& rng,

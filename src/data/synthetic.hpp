@@ -41,6 +41,16 @@ class SyntheticDataset {
     return samplers_[static_cast<std::size_t>(table)];
   }
 
+  /// Rotates table `t`'s popularity ranks for subsequent draws: the index
+  /// that held rank r now behaves as rank (r + offset) % n, so the hot set
+  /// migrates through the vocabulary while every index keeps its teacher
+  /// score. Offset 0 (the default) is bitwise-identical to the stationary
+  /// generator. This is the hook DriftingDataset drives (data/drift.hpp).
+  void set_rank_offset(index_t table, index_t offset);
+  index_t rank_offset(index_t table) const {
+    return rank_offset_[static_cast<std::size_t>(table)];
+  }
+
   /// The teacher's hidden affinity score for (table, row); exposed so tests
   /// can verify label structure.
   float teacher_score(index_t table, index_t row) const;
@@ -54,6 +64,7 @@ class SyntheticDataset {
   Prng rng_;
   std::uint64_t teacher_seed_;
   std::vector<ZipfSampler> samplers_;
+  std::vector<index_t> rank_offset_;  // per-table popularity rotation
   std::vector<float> dense_teacher_;  // teacher weights for dense features
   float teacher_bias_ = 0.0f;
   index_t batches_served_ = 0;

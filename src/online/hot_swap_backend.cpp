@@ -1,0 +1,85 @@
+#include "online/hot_swap_backend.hpp"
+
+#include <mutex>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace elrec {
+
+void ServingGeneration::retire() {
+  for (auto& s : shard_sessions) {
+    if (s) s->clear_caches();
+  }
+  if (session) session->clear_caches();
+}
+
+HotSwapBackend::HotSwapBackend(std::shared_ptr<ServingGeneration> initial) {
+  ELREC_CHECK(initial != nullptr && initial->session != nullptr,
+              "hot-swap backend needs an initial generation");
+  num_tables_ = initial->backend().num_tables();
+  num_dense_ = initial->backend().num_dense();
+  gen_id_.store(initial->id, std::memory_order_release);
+  gen_ = std::move(initial);
+}
+
+std::unique_ptr<IRankingBackend::State> HotSwapBackend::make_state() const {
+  // The inner state is built lazily inside predict(), where the generation
+  // is pinned — building it here would race a concurrent swap's teardown.
+  return std::make_unique<SwapState>();
+}
+
+void HotSwapBackend::predict(const MiniBatch& batch, std::vector<float>& probs,
+                             IRankingBackend::State& state) const {
+  auto& s = static_cast<SwapState&>(state);
+  std::shared_ptr<const ServingGeneration> gen;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    gen = gen_;
+  }
+  // `gen` pins the generation for the rest of this call: the promoter's
+  // drain cannot complete (and the model cannot be destroyed) until this
+  // frame returns. The whole micro-batch therefore runs against exactly one
+  // frozen model — the no-torn-reads invariant.
+  if (s.gen_id != gen->id || s.inner == nullptr) {
+    s.inner = gen->backend().make_state();
+    s.gen_id = gen->id;
+  }
+  gen->backend().predict(batch, probs, *s.inner);
+}
+
+std::shared_ptr<ServingGeneration> HotSwapBackend::swap(
+    std::shared_ptr<ServingGeneration> next) {
+  TRACE_SPAN("online.swap");
+  ELREC_CHECK(next != nullptr && next->session != nullptr,
+              "cannot swap in an empty generation");
+  ELREC_CHECK(next->backend().num_tables() == num_tables_ &&
+                  next->backend().num_dense() == num_dense_,
+              "generation shape mismatch — promotion requires an identical "
+              "model configuration");
+  const DlrmModel& model = next->session->model();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const DlrmModel& cur = gen_->session->model();
+    for (index_t t = 0; t < num_tables_; ++t) {
+      ELREC_CHECK(model.table(t).num_rows() == cur.table(t).num_rows() &&
+                      model.table(t).dim() == cur.table(t).dim(),
+                  "generation table shape mismatch");
+    }
+  }
+  std::shared_ptr<ServingGeneration> old;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    old = std::move(gen_);
+    gen_ = std::move(next);
+    gen_id_.store(gen_->id, std::memory_order_release);
+  }
+  return old;
+}
+
+std::shared_ptr<const ServingGeneration> HotSwapBackend::current() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return gen_;
+}
+
+}  // namespace elrec

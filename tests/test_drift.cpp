@@ -1,0 +1,214 @@
+// Drifting-generator coverage: the seeded drift schedule is exactly
+// reproducible (same seed => bitwise-identical stream, no matter how many
+// other generator threads run concurrently), period 0 degenerates to the
+// stationary generator bit for bit, and drift measurably migrates the hot
+// set that AccessStats / top_accessed_indices report — the property the
+// online promoter's cache re-warming exists for. Registered with the
+// "sanitize" label: the concurrent-stream and concurrent-stats tests are
+// the TSan surface of src/data's online additions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "data/drift.hpp"
+#include "data/stats.hpp"
+#include "data/synthetic.hpp"
+
+namespace elrec {
+namespace {
+
+DatasetSpec tiny_spec() {
+  DatasetSpec spec;
+  spec.name = "drift";
+  spec.num_dense = 3;
+  spec.table_rows = {800, 60};
+  spec.num_samples = 1 << 20;
+  spec.zipf_s = 1.1;
+  return spec;
+}
+
+DriftScheduleConfig fast_drift() {
+  DriftScheduleConfig d;
+  d.period_batches = 8;
+  d.max_step_fraction = 0.05;
+  d.seed = 42;
+  return d;
+}
+
+bool batches_equal(const MiniBatch& a, const MiniBatch& b) {
+  if (a.labels != b.labels) return false;
+  if (a.dense.rows() != b.dense.rows() || a.dense.cols() != b.dense.cols()) {
+    return false;
+  }
+  for (index_t i = 0; i < a.dense.rows(); ++i) {
+    for (index_t j = 0; j < a.dense.cols(); ++j) {
+      if (a.dense.at(i, j) != b.dense.at(i, j)) return false;
+    }
+  }
+  if (a.sparse.size() != b.sparse.size()) return false;
+  for (std::size_t t = 0; t < a.sparse.size(); ++t) {
+    if (a.sparse[t].indices != b.sparse[t].indices) return false;
+    if (a.sparse[t].offsets != b.sparse[t].offsets) return false;
+  }
+  return true;
+}
+
+TEST(DriftSchedule, PureFunctionOfSeedTableStep) {
+  const auto spec = tiny_spec();
+  DriftSchedule a(fast_drift(), spec.table_rows);
+  DriftSchedule b(fast_drift(), spec.table_rows);
+  for (index_t t = 0; t < 2; ++t) {
+    const index_t rows = spec.table_rows[static_cast<std::size_t>(t)];
+    for (index_t step = 0; step < 32; ++step) {
+      const index_t off = a.offset_at(t, step);
+      EXPECT_EQ(off, b.offset_at(t, step)) << "t=" << t << " step=" << step;
+      EXPECT_GE(off, 0);
+      EXPECT_LT(off, rows);
+      if (step == 0) {
+        EXPECT_EQ(off, 0);
+      }
+    }
+  }
+  // A different seed must actually change the trajectory.
+  DriftScheduleConfig other = fast_drift();
+  other.seed = 43;
+  DriftSchedule c(other, spec.table_rows);
+  int diffs = 0;
+  for (index_t step = 1; step < 16; ++step) {
+    if (c.offset_at(0, step) != a.offset_at(0, step)) ++diffs;
+  }
+  EXPECT_GT(diffs, 8);
+}
+
+TEST(DriftSchedule, StepAdvancesEveryPeriod) {
+  DriftSchedule s(fast_drift(), tiny_spec().table_rows);
+  EXPECT_EQ(s.step_at(0), 0);
+  EXPECT_EQ(s.step_at(7), 0);
+  EXPECT_EQ(s.step_at(8), 1);
+  EXPECT_EQ(s.step_at(25), 3);
+
+  DriftScheduleConfig off = fast_drift();
+  off.period_batches = 0;
+  DriftSchedule none(off, tiny_spec().table_rows);
+  EXPECT_EQ(none.step_at(1000000), 0);
+  EXPECT_EQ(none.offset_at(0, 5), 0);
+}
+
+TEST(DriftingDataset, PeriodZeroBitwiseIdenticalToStationary) {
+  DriftScheduleConfig off;
+  off.period_batches = 0;
+  DriftingDataset drifting(tiny_spec(), 7, off);
+  SyntheticDataset stationary(tiny_spec(), 7);
+  for (int b = 0; b < 40; ++b) {
+    EXPECT_TRUE(
+        batches_equal(drifting.next_batch(32), stationary.next_batch(32)))
+        << "batch " << b;
+  }
+  EXPECT_EQ(drifting.current_offset(0), 0);
+}
+
+TEST(DriftingDataset, SameSeedSameStreamAcrossConcurrentGenerators) {
+  // Reference stream, produced serially.
+  constexpr int kBatches = 64;
+  DriftingDataset ref(tiny_spec(), 11, fast_drift());
+  std::vector<MiniBatch> expected;
+  expected.reserve(kBatches);
+  for (int b = 0; b < kBatches; ++b) expected.push_back(ref.next_batch(32));
+  ASSERT_GT(ref.current_offset(0), 0) << "drift never engaged";
+
+  // Several threads each rebuild the identical stream concurrently; wall
+  // clock, scheduling and neighbor threads must not leak into the bits.
+  constexpr int kThreads = 4;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      DriftingDataset mine(tiny_spec(), 11, fast_drift());
+      for (int b = 0; b < kBatches; ++b) {
+        if (!batches_equal(mine.next_batch(32),
+                           expected[static_cast<std::size_t>(b)])) {
+          ++mismatches[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0) << "thread " << t;
+  }
+}
+
+TEST(DriftingDataset, DriftMigratesTheHotSet) {
+  constexpr index_t kTopK = 24;
+  DriftingDataset data(tiny_spec(), 13, fast_drift());
+
+  // Hot set before any drift step (first period only).
+  AccessStats before(tiny_spec().table_rows);
+  for (int b = 0; b < 8; ++b) before.observe(data.next_batch(64));
+  ASSERT_EQ(data.current_offset(0), 0);
+
+  // Advance many drift periods, then measure again.
+  for (int b = 0; b < 8 * 30; ++b) (void)data.next_batch(64);
+  ASSERT_GT(data.current_offset(0), kTopK)
+      << "cumulative offset too small to move the top-" << kTopK << " set";
+  AccessStats after(tiny_spec().table_rows);
+  for (int b = 0; b < 8; ++b) after.observe(data.next_batch(64));
+
+  const auto hot_before = before.top_k(0, kTopK);
+  const auto hot_after = after.top_k(0, kTopK);
+  ASSERT_EQ(hot_before.size(), static_cast<std::size_t>(kTopK));
+  ASSERT_EQ(hot_after.size(), static_cast<std::size_t>(kTopK));
+  const std::set<index_t> sb(hot_before.begin(), hot_before.end());
+  std::size_t overlap = 0;
+  for (index_t idx : hot_after) overlap += sb.count(idx);
+  // Rank rotation by more than k ranks relocates the whole Zipf head; a
+  // little overlap can survive through sampling noise, most must not.
+  EXPECT_LT(overlap, static_cast<std::size_t>(kTopK) / 2)
+      << "hot set barely moved after 30 drift steps";
+}
+
+TEST(AccessStats, TopKDeterministicAndDecayHalves) {
+  AccessStats stats({100});
+  stats.observe_table(0, {5, 5, 5, 9, 9, 2, 7, 7, 7, 7});
+  EXPECT_EQ(stats.total(0), 10u);
+  // Hottest first; equal counts break ties by ascending index.
+  EXPECT_EQ(stats.top_k(0, 3), (std::vector<index_t>{7, 5, 9}));
+  EXPECT_EQ(stats.top_k(0, 10), (std::vector<index_t>{7, 5, 9, 2}));
+
+  stats.decay();  // 4,3,2,1 -> 2,1,1,0
+  EXPECT_EQ(stats.top_k(0, 10), (std::vector<index_t>{7, 5, 9}));
+  stats.decay();
+  stats.decay();
+  EXPECT_TRUE(stats.top_k(0, 10).empty());
+}
+
+TEST(AccessStats, ConcurrentObserversLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  AccessStats stats({64});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const index_t mine = static_cast<index_t>(t);
+      for (int r = 0; r < kRounds; ++r) {
+        stats.observe_table(0, {mine, mine, static_cast<index_t>(63 - t)});
+        if (r % 32 == 0) (void)stats.top_k(0, 8);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(stats.total(0),
+            static_cast<std::uint64_t>(kThreads) * kRounds * 3);
+  // Each thread's dominant index got exactly 2 * kRounds hits, so the top-8
+  // set is exactly the 8 dominant indices (ties broken ascending).
+  EXPECT_EQ(stats.top_k(0, 8),
+            (std::vector<index_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+}  // namespace
+}  // namespace elrec

@@ -1,8 +1,14 @@
 // Eviction / life-cycle edge cases for the two embedding caches: the
 // serving-side ServingCache (capacity-bounded, frequency-admitted) and the
 // pipeline's EmbeddingCache (LC-bounded). Both must survive degenerate
-// capacities, repeated evict-readmit churn, and stale-generation reads.
+// capacities, repeated evict-readmit churn, and stale-generation reads —
+// including clear()/warm() racing concurrent probes (the model-promotion
+// path), which is why this suite carries the "sanitize" label.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
 
 #include "pipeline/embedding_cache.hpp"
 #include "serve/serving_cache.hpp"
@@ -189,6 +195,93 @@ TEST(ServingCache, CapacityClampedToTableRows) {
   cfg.admit_min_freq = 1;
   ServingCache cache(10, 4, cfg);
   EXPECT_EQ(cache.capacity(), 10);
+}
+
+// Generation-tagged clear()/warm() vs concurrent-probe stress — the exact
+// interleaving ModelPromoter::promote() produces: readers hammer probe()
+// while a mutator flips the cache between generations (warm with generation
+// g's rows, then clear). Every value a reader observes on a hit must be one
+// *complete* generation's row — never a torn mix of two generations, never
+// bytes from a cleared slab. Run under TSan this is the ordering proof for
+// the shared_mutex discipline in serving_cache.cpp.
+TEST(ServingCache, ClearVersusConcurrentProbesServesNoTornRows) {
+  constexpr index_t kRows = 100;
+  constexpr index_t kDim = 4;
+  constexpr int kReaders = 4;
+  constexpr int kGenerations = 120;
+  ServingCacheConfig cfg;
+  cfg.capacity = 32;
+  cfg.admit_min_freq = 1;
+  ServingCache cache(kRows, kDim, cfg);
+
+  // Generation g's row r: value(j) = g * 100000 + r * 100 + j. Exactly
+  // representable in float (< 2^24), so a torn row is detectable per cell.
+  const auto gen_value = [](int g, index_t r, index_t j) {
+    return static_cast<float>(g * 100000 + r * 100 + j);
+  };
+  const auto make_gen_rows = [&](int g, const std::vector<index_t>& rows) {
+    Matrix m(static_cast<index_t>(rows.size()), kDim);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (index_t j = 0; j < kDim; ++j) {
+        m.at(static_cast<index_t>(i), j) = gen_value(g, rows[i], j);
+      }
+    }
+    return m;
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Matrix dst(4, kDim);
+      std::vector<char> hit;
+      std::uint64_t x = 0x9e3779b9u + static_cast<std::uint64_t>(t);
+      std::uint64_t probes = 0;
+      while (!stop.load(std::memory_order_acquire) || probes < 100) {
+        ++probes;
+        std::vector<index_t> rows(4);
+        for (auto& r : rows) {
+          x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+          r = static_cast<index_t>((x >> 33) % kRows);
+        }
+        cache.probe(rows, dst, hit);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          if (!hit[i]) continue;
+          // Recover the generation from cell 0, then the whole row must be
+          // that generation's bits.
+          const float v0 = dst.at(static_cast<index_t>(i), 0);
+          const int g = static_cast<int>(
+              std::lround((v0 - static_cast<float>(rows[i] * 100)) /
+                          100000.0f));
+          bool ok = g >= 0 && g < kGenerations;
+          for (index_t j = 0; ok && j < kDim; ++j) {
+            ok = dst.at(static_cast<index_t>(i), j) ==
+                 gen_value(g, rows[i], j);
+          }
+          if (!ok) torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Mutator: march generations through warm()/clear(), overlapping row sets
+  // so slots are continually rewritten in place.
+  for (int g = 0; g < kGenerations; ++g) {
+    std::vector<index_t> rows;
+    for (index_t r = 0; r < 24; ++r) {
+      rows.push_back((static_cast<index_t>(g) * 7 + r * 3) % kRows);
+    }
+    cache.warm(rows, make_gen_rows(g, rows));
+    if (g % 3 == 0) cache.clear();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(torn.load(), 0) << "a probe observed a torn or stale row";
+  const auto s = cache.stats_snapshot();
+  EXPECT_GT(s.hits + s.misses, 0u);
 }
 
 // ---------------------------------------------------------------------------
