@@ -7,11 +7,12 @@
 #   scripts/check.sh --obs           # observability smoke: traced mini-train,
 #                                    # schema-check the chrome trace, require
 #                                    # the metrics block in the BENCH json
-#   scripts/check.sh --analyze       # static-analysis matrix: elrec_lint over
-#                                    # src/ + lint unit tests, then the
-#                                    # sanitize-labelled suites rebuilt under
-#                                    # TSan, ASan and UBSan (build-tsan/,
-#                                    # build-asan/, build-ubsan/)
+#   scripts/check.sh --analyze       # static-analysis matrix: elrec_lint
+#                                    # (per-file + cross-TU rules) over
+#                                    # src/ tests/ tools/ + lint unit tests,
+#                                    # then the sanitize-labelled suites
+#                                    # rebuilt under TSan, ASan and UBSan
+#                                    # (build-tsan/, build-asan/, build-ubsan/)
 #   scripts/check.sh --shard         # sharded-serving smoke: 3 shards +
 #                                    # failover router, 5k requests, one
 #                                    # injected kill mid-stream, then the
@@ -56,14 +57,17 @@ if [[ "$MODE" == "--obs" ]]; then
 fi
 
 if [[ "$MODE" == "--analyze" ]]; then
-  echo "== elrec-lint: project-invariant rules over src/ =="
-  # Soft defaults pick up tools/elrec_lint_baseline.txt and
-  # tools/trace_spans.manifest from the repo root; exits 1 on any fresh
-  # finding. NOLINT at the site (with justification) is the sanctioned
-  # escape hatch — the shipped baseline stays empty.
-  "$BUILD_DIR/tools/elrec_lint" src
+  echo "== elrec-lint: per-file + cross-TU rules over src/ tests/ tools/ =="
+  # Soft defaults pick up tools/elrec_lint_baseline.txt,
+  # tools/trace_spans.manifest and tools/fault_sites.manifest from the repo
+  # root; exits 1 on any fresh finding. The scan covers tests/ and tools/
+  # because the fault-site manifest audits sites *armed* there, and the
+  # cross-TU index wants every definition. NOLINT at the site (with a
+  # `: reason` tail — the nolint-rationale rule insists) is the sanctioned
+  # escape hatch; the shipped baseline stays empty.
+  "$BUILD_DIR/tools/elrec_lint" src tests tools --index-stats
 
-  echo "== lint unit tests (lexer, rules, baseline, driver) =="
+  echo "== lint unit tests (lexer, rules, index, cross-TU, driver) =="
   ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure -j"$JOBS"
 
   # Sanitizer matrix: rebuild the tree under each sanitizer and rerun the

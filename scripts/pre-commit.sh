@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Fast pre-commit gate: elrec-lint over the *staged* files only.
+#
+# Per-file rules run on exactly the staged set; the cross-TU rules
+# (lock-order-graph, blocking-under-lock, layering-dag,
+# fault-site-coverage) need the whole tree to resolve symbols, so when any
+# lintable file is staged we widen that pass to src/ tests/ tools/ — still
+# a sub-second scan, and the only way a cross-TU regression introduced by
+# the staged change can surface.
+#
+# Install:  ln -s ../../scripts/pre-commit.sh .git/hooks/pre-commit
+# Skip once: git commit --no-verify
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+BUILD_DIR=${BUILD_DIR:-build}
+LINT="$BUILD_DIR/tools/elrec_lint"
+if [[ ! -x "$LINT" ]]; then
+  echo "pre-commit: $LINT not built; run 'cmake --build $BUILD_DIR --target elrec_lint'" >&2
+  exit 1
+fi
+
+# Staged, still-existing, lintable files (ACMR = added/copied/modified/renamed).
+mapfile -t staged < <(git diff --cached --name-only --diff-filter=ACMR \
+  | grep -E '\.(hpp|h|hh|hxx|cpp|cc|cxx)$' || true)
+
+manifest_touched=$(git diff --cached --name-only --diff-filter=ACMRD \
+  | grep -cE '^tools/(fault_sites|trace_spans)\.manifest$' || true)
+
+if [[ ${#staged[@]} -eq 0 && "$manifest_touched" -eq 0 ]]; then
+  exit 0  # nothing lintable staged
+fi
+
+if [[ ${#staged[@]} -gt 0 ]]; then
+  echo "== pre-commit: per-file lint on ${#staged[@]} staged file(s) =="
+  # Cross-TU rules are disabled here (a partial tree would resolve wrongly);
+  # the full-tree pass below covers them.
+  "$LINT" "${staged[@]}" \
+    --rule determinism-rand --rule nondeterministic-reduction \
+    --rule atomics-ordering --rule iostream-in-lib --rule lock-discipline \
+    --rule header-hygiene --rule trace-span-coverage --rule nolint-rationale
+fi
+
+echo "== pre-commit: cross-TU rules over the tree =="
+"$LINT" src tests tools \
+  --rule lock-order-graph --rule blocking-under-lock \
+  --rule layering-dag --rule fault-site-coverage
+
+echo "pre-commit lint OK"

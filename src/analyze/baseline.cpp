@@ -4,13 +4,40 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace elrec::analyze {
 
 namespace {
 
+// Collapses interior whitespace runs to a single space so a reformatted
+// offending line still matches its baseline entry.
+std::string normalize_ws(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_ws = false;
+  for (char c : s) {
+    if (c == ' ' || c == '\t') {
+      in_ws = true;
+      continue;
+    }
+    if (in_ws && !out.empty()) out.push_back(' ');
+    in_ws = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
 std::string key_of(const Finding& f) {
-  return f.rule + "\t" + f.path + "\t" + f.snippet;
+  return f.rule + "\t" + f.path + "\t" + normalize_ws(f.snippet);
+}
+
+// Normalizes the snippet field of a stored `rule\tpath\tsnippet` line.
+std::string normalize_entry(const std::string& line) {
+  const std::size_t t1 = line.find('\t');
+  const std::size_t t2 = line.find('\t', t1 + 1);
+  return line.substr(0, t2 + 1) + normalize_ws(
+      std::string_view(line).substr(t2 + 1));
 }
 
 }  // namespace
@@ -33,7 +60,7 @@ Baseline Baseline::load(const std::string& path) {
                                std::to_string(lineno) +
                                " (want rule\\tpath\\tsnippet)");
     }
-    b.entries_.push_back(line);
+    b.entries_.push_back(normalize_entry(line));
   }
   std::sort(b.entries_.begin(), b.entries_.end());
   return b;
@@ -59,6 +86,23 @@ std::string Baseline::serialize() const {
          "# Keep this empty: fix findings or NOLINT them with a reason.\n";
   for (const std::string& e : entries_) out << e << "\n";
   return out.str();
+}
+
+BaselinePrune Baseline::retain_matching(
+    const std::vector<Finding>& findings) const {
+  std::vector<std::string> live;
+  live.reserve(findings.size());
+  for (const Finding& f : findings) live.push_back(key_of(f));
+  std::sort(live.begin(), live.end());
+  BaselinePrune out;
+  for (const std::string& e : entries_) {
+    if (std::binary_search(live.begin(), live.end(), e)) {
+      out.kept.entries_.push_back(e);
+    } else {
+      ++out.removed;
+    }
+  }
+  return out;
 }
 
 BaselineSplit apply_baseline(const Baseline& b,

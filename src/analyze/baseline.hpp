@@ -3,9 +3,11 @@
 // Format (one entry per line, tab-separated, '#' comments):
 //   <rule>\t<path>\t<trimmed offending line text>
 // Entries match on content, not line number, so edits elsewhere in a file
-// never churn the baseline. Each entry absorbs any number of identical
-// findings on distinct lines of the same file (a repeated legacy pattern
-// is one decision, not N).
+// never churn the baseline; interior whitespace runs in the snippet are
+// collapsed on both sides of the comparison, so reindenting or
+// reformatting the offending line does not churn it either. Each entry
+// absorbs any number of identical findings on distinct lines of the same
+// file (a repeated legacy pattern is one decision, not N).
 //
 // Policy note (DESIGN.md §9): the baseline exists so the linter could be
 // introduced into a dirty tree without a flag day; this repo fixed its
@@ -20,6 +22,8 @@
 #include "analyze/finding.hpp"
 
 namespace elrec::analyze {
+
+struct BaselinePrune;  // defined below (needs the complete Baseline)
 
 class Baseline {
  public:
@@ -37,9 +41,19 @@ class Baseline {
   /// Serializes in the load() format, sorted, with a header comment.
   std::string serialize() const;
 
+  /// For --prune-baseline: the subset of entries still matched by at
+  /// least one of `findings`, plus how many were dropped.
+  BaselinePrune retain_matching(const std::vector<Finding>& findings) const;
+
  private:
   // rule \t path \t snippet, stored pre-joined for set lookup.
   std::vector<std::string> entries_;
+};
+
+/// Result of Baseline::retain_matching.
+struct BaselinePrune {
+  Baseline kept;
+  std::size_t removed = 0;
 };
 
 /// Splits `findings` into (kept, baselined) under `b`.

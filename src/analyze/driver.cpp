@@ -1,10 +1,15 @@
 #include "analyze/driver.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 namespace elrec::analyze {
 
@@ -21,6 +26,67 @@ bool lintable_extension(const fs::path& p) {
 bool skip_directory(const fs::path& p) {
   const std::string name = p.filename().string();
   return name == ".git" || name.rfind("build", 0) == 0;
+}
+
+void assign_second(TraceSpanRequirement& req, std::string v, std::size_t) {
+  req.function = std::move(v);
+}
+
+void assign_second(FaultSiteRequirement& req, std::string v,
+                   std::size_t lineno) {
+  req.site = std::move(v);
+  req.line = lineno;
+}
+
+// Generic `<file-suffix> <word>` manifest reader shared by the trace-span
+// and fault-site manifests.
+template <typename Req>
+std::vector<Req> load_manifest(const std::string& path,
+                               const char* what_second) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("elrec_lint: cannot read manifest " + path);
+  }
+  std::vector<Req> reqs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    Req req;
+    if (!(fields >> req.file_suffix)) continue;  // blank/comment line
+    std::string second;
+    std::string extra;
+    if (!(fields >> second) || (fields >> extra)) {
+      throw std::runtime_error(
+          "elrec_lint: malformed manifest line " + std::to_string(lineno) +
+          " in " + path + " (want: <file-suffix> <" + what_second + ">)");
+    }
+    assign_second(req, std::move(second), lineno);
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+// Per-file work product, slotted by file index so the merge order is the
+// sorted path order regardless of which worker finished first.
+struct FileScan {
+  std::shared_ptr<SourceFile> file;
+  std::vector<Finding> findings;
+  FileFacts facts;
+};
+
+std::size_t effective_jobs(std::size_t requested, std::size_t files) {
+  std::size_t jobs = requested;
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw == 0 ? 1 : std::min<std::size_t>(hw, 8);
+  }
+  return std::max<std::size_t>(1, std::min(jobs, std::max<std::size_t>(
+                                                     files, 1)));
 }
 
 }  // namespace
@@ -55,36 +121,22 @@ std::vector<std::string> collect_sources(
 
 std::vector<TraceSpanRequirement> load_trace_manifest(
     const std::string& path) {
-  std::ifstream in(path);
-  if (!in.good()) {
-    throw std::runtime_error("elrec_lint: cannot read trace manifest " + path);
-  }
-  std::vector<TraceSpanRequirement> reqs;
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream fields(line);
-    TraceSpanRequirement req;
-    if (!(fields >> req.file_suffix)) continue;  // blank/comment line
-    std::string extra;
-    if (!(fields >> req.function) || (fields >> extra)) {
-      throw std::runtime_error(
-          "elrec_lint: malformed manifest line " + std::to_string(lineno) +
-          " in " + path + " (want: <file-suffix> <function>)");
-    }
-    reqs.push_back(std::move(req));
-  }
-  return reqs;
+  return load_manifest<TraceSpanRequirement>(path, "function");
+}
+
+std::vector<FaultSiteRequirement> load_fault_manifest(
+    const std::string& path) {
+  return load_manifest<FaultSiteRequirement>(path, "site");
 }
 
 LintResult run_lint(const RuleRegistry& registry, const LintOptions& options) {
   LintContext ctx;
   if (!options.trace_manifest_path.empty()) {
     ctx.trace_manifest = load_trace_manifest(options.trace_manifest_path);
+  }
+  if (!options.fault_manifest_path.empty()) {
+    ctx.fault_manifest = load_fault_manifest(options.fault_manifest_path);
+    ctx.fault_manifest_path = options.fault_manifest_path;
   }
   const Baseline baseline = options.baseline_path.empty()
                                ? Baseline{}
@@ -94,16 +146,68 @@ LintResult run_lint(const RuleRegistry& registry, const LintOptions& options) {
   const std::vector<std::string> files = collect_sources(options.paths);
   result.summary.files_scanned = files.size();
 
-  std::vector<Finding> kept;
-  for (const std::string& path : files) {
-    const SourceFile file = SourceFile::from_disk(path);
-    for (Finding& f : registry.run(file, ctx, options.only_rules)) {
-      if (file.suppressed(f.rule, f.line)) {
-        ++result.summary.suppressed;
-      } else {
-        kept.push_back(std::move(f));
+  // Phase 1 — per-file: lex, per-file rules, cross-TU fact extraction.
+  // Each worker claims the next unprocessed index; results land in
+  // per-file slots, so the merge below is deterministic at any -j.
+  std::vector<FileScan> scans(files.size());
+  {
+    std::atomic<std::size_t> next{0};
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+    auto work = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= files.size()) return;
+        try {
+          auto file = std::make_shared<SourceFile>(
+              SourceFile::from_disk(files[i]));
+          scans[i].findings = registry.run(*file, ctx, options.only_rules);
+          scans[i].facts = extract_facts(*file);
+          scans[i].file = std::move(file);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
       }
+    };
+    const std::size_t jobs = effective_jobs(options.jobs, files.size());
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Phase 2 — cross-TU: merge facts (sorted path order) and run the
+  // project rules over the finalized index.
+  ProjectIndex index;
+  for (FileScan& s : scans) index.add(std::move(s.facts), s.file);
+  index.finalize();
+  std::vector<Finding> project_findings =
+      registry.run_project(index, ctx, options.only_rules);
+
+  if (options.want_graph_dot) result.lock_graph_dot = index.lock_graph_dot();
+  if (options.want_index_stats) result.index_stats = index.stats();
+
+  // Phase 3 — suppression + baseline. nolint-rationale is exempt from
+  // NOLINT suppression: a reason-less marker must not silence the rule
+  // that audits reason-less markers.
+  std::vector<Finding> kept;
+  auto keep_or_suppress = [&](Finding f, const SourceFile* file) {
+    if (file != nullptr && f.rule != "nolint-rationale" &&
+        file->suppressed(f.rule, f.line)) {
+      ++result.summary.suppressed;
+    } else {
+      kept.push_back(std::move(f));
     }
+  };
+  for (FileScan& s : scans) {
+    for (Finding& f : s.findings) keep_or_suppress(std::move(f), s.file.get());
+  }
+  for (Finding& f : project_findings) {
+    const SourceFile* src = index.source(f.path);
+    keep_or_suppress(std::move(f), src);
   }
 
   BaselineSplit split = apply_baseline(baseline, std::move(kept));

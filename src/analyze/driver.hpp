@@ -1,12 +1,17 @@
-// Lint driver: walks source trees, runs the rule registry over every file,
-// applies NOLINT suppressions and the baseline, and renders a report.
-// tools/elrec_lint is a thin argv shell around run_lint().
+// Lint driver: walks source trees, runs the rule registry over every file
+// (per-file rules fan out across a small thread pool; findings merge in
+// deterministic path order, so the report is bitwise-identical at any
+// thread count), builds the cross-TU ProjectIndex, runs the project
+// rules, applies NOLINT suppressions and the baseline, and renders a
+// report. tools/elrec_lint is a thin argv shell around run_lint().
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "analyze/baseline.hpp"
+#include "analyze/index.hpp"
 #include "analyze/reporter.hpp"
 #include "analyze/rule.hpp"
 
@@ -16,12 +21,18 @@ struct LintOptions {
   std::vector<std::string> paths;     // files and/or directories
   std::string baseline_path;          // "" = no baseline
   std::string trace_manifest_path;    // "" = trace-span-coverage idles
+  std::string fault_manifest_path;    // "" = fault-site-coverage idles
   std::vector<std::string> only_rules;  // empty = all rules
+  std::size_t jobs = 0;               // 0 = hardware_concurrency (capped)
+  bool want_graph_dot = false;        // fill LintResult::lock_graph_dot
+  bool want_index_stats = false;      // fill LintResult::index_stats
 };
 
 struct LintResult {
   std::vector<Finding> fresh;  // findings that should fail the run
   LintSummary summary;
+  std::string lock_graph_dot;  // when options.want_graph_dot
+  std::string index_stats;     // when options.want_index_stats
 };
 
 /// Recursively collects lintable sources (.hpp/.h/.hh/.hxx/.cpp/.cc/.cxx)
@@ -34,6 +45,10 @@ std::vector<std::string> collect_sources(const std::vector<std::string>& paths);
 /// '#' comments. Throws std::runtime_error if `path` is unreadable or a
 /// line is malformed.
 std::vector<TraceSpanRequirement> load_trace_manifest(const std::string& path);
+
+/// Parses a fault-site manifest: `<file-suffix> <site>` per line, '#'
+/// comments; same error contract as load_trace_manifest.
+std::vector<FaultSiteRequirement> load_fault_manifest(const std::string& path);
 
 /// Runs the full pass. File read errors propagate as std::runtime_error.
 LintResult run_lint(const RuleRegistry& registry, const LintOptions& options);

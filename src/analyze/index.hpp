@@ -1,0 +1,251 @@
+// Cross-translation-unit symbol index for elrec-lint.
+//
+// Per-file fact extraction (`extract_facts`) runs on the existing lexer and
+// is a pure function of one SourceFile, so the driver can run it from the
+// same thread pool as the per-file rules. The facts are then merged into a
+// ProjectIndex whose `finalize()` resolves names across TUs: mutex
+// spellings become canonical lock nodes ("Class::mu_", "::global_mu"),
+// call sites bind to indexed function definitions, and two fixpoints are
+// computed over the call graph — which functions may block, and which lock
+// nodes a call can transitively acquire. ProjectRules (project_rules.cpp)
+// read only the finalized index.
+//
+// This is a lexical index, not a compiler front end. The resolution
+// policy is deliberately conservative (DESIGN.md §9): an ambiguous member
+// call resolves to nothing rather than to "some class with that method
+// name", so cross-TU findings trade recall for near-zero false positives.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/source_file.hpp"
+
+namespace elrec::analyze {
+
+/// A mutex (or condition variable) declaration. `cls` is "" for
+/// namespace-scope declarations.
+struct MutexDecl {
+  std::string file;
+  std::string cls;
+  std::string name;
+  std::size_t line = 0;
+  bool is_condvar = false;
+};
+
+/// ELREC_GUARDED_BY(mu) on a member: documents that `member` of `cls` is
+/// protected by `mutex_name`.
+struct GuardedByDecl {
+  std::string file;
+  std::string cls;
+  std::string member;
+  std::string mutex_name;
+  std::size_t line = 0;
+};
+
+/// An unresolved lock spelling at an acquisition or call site:
+/// `receiver.name`, `Receiver::name`, or a bare `name`.
+struct LockRef {
+  std::string receiver;  // "" when unqualified
+  std::string name;
+
+  bool operator==(const LockRef& o) const {
+    return receiver == o.receiver && name == o.name;
+  }
+};
+
+/// One guard-scope acquisition (`std::lock_guard/unique_lock/shared_lock/
+/// scoped_lock`) inside a function body.
+struct Acquire {
+  LockRef lock;
+  std::size_t line = 0;
+  std::size_t col = 0;
+  std::vector<LockRef> held;  // locks already held at this point
+};
+
+/// A direct use of a blocking primitive inside a function body, with the
+/// guard context that was open around it. Condvar waits that name an open
+/// guard as their first argument have that guard's locks already removed
+/// from `held` (the wait releases them); zero-timeout try_push_for /
+/// try_pop_for probes are not recorded at all.
+struct BlockingSite {
+  std::string what;  // e.g. "std::this_thread::sleep_for"
+  std::size_t line = 0;
+  std::size_t col = 0;
+  std::vector<LockRef> held;
+};
+
+/// A call site `callee(...)` / `recv.callee(...)` / `Qual::callee(...)`.
+struct CallSite {
+  std::string callee;
+  std::string qualifier;  // "X" for X::callee, else ""
+  std::string receiver;   // "obj" for obj.callee / obj->callee, else ""
+  std::size_t line = 0;
+  std::size_t col = 0;
+  std::vector<LockRef> held;
+  // try_push_for/try_pop_for with a literal-zero duration: a non-blocking
+  // probe by contract; excluded from may-block propagation.
+  bool zero_timeout = false;
+};
+
+/// One function (or lambda) body. Lambdas index as separate anonymous
+/// functions named "<lambda:LINE>" — their bodies run on an unknown thread
+/// at an unknown time, so they contribute their own guard-scope facts but
+/// are never a resolution target (DESIGN.md §9, false-positive policy).
+struct FunctionFact {
+  std::string file;
+  std::string cls;   // enclosing class or "X" from X::name; "" for free
+  std::string name;
+  std::size_t line = 0;
+  std::vector<std::string> requires_locks;  // ELREC_REQUIRES(...) names
+  std::vector<Acquire> acquires;
+  std::vector<BlockingSite> blocking;
+  std::vector<CallSite> calls;
+  bool is_lambda = false;
+};
+
+/// ELREC_REQUIRES on a declaration (headers annotate the decl, the .cpp
+/// holds the unannotated definition); attached to the matching
+/// FunctionFact during finalize().
+struct RequiresDecl {
+  std::string cls;
+  std::string name;
+  std::vector<std::string> locks;
+};
+
+/// `ELREC_FAULT_POINT("site")` occurrence.
+struct FaultPoint {
+  std::string file;
+  std::string site;
+  std::size_t line = 0;
+};
+
+/// A fault site armed from a test or driver: `arm("site", ...)` or a site
+/// segment of `arm_from_string("site:prob[:kind[:param]]")`.
+struct ArmedSite {
+  std::string file;
+  std::string site;
+  std::size_t line = 0;
+};
+
+/// `counter("name")` / `gauge("name")` / `histogram("name")` literal.
+struct MetricUse {
+  std::string file;
+  std::string kind;
+  std::string name;
+  std::size_t line = 0;
+};
+
+/// `#include "header"` edge (quoted includes only — project headers).
+struct IncludeEdge {
+  std::string file;
+  std::string header;
+  std::size_t line = 0;
+};
+
+/// Everything extract_facts() learns from one file.
+struct FileFacts {
+  std::string file;
+  // SourceFile::in_library() of the origin. Non-library files (tests,
+  // tools, bench, examples) contribute definitions for call resolution
+  // and fault/arm/include facts, but never lock-graph edges or
+  // blocking-under-lock sites — tests hold locks under contention on
+  // purpose.
+  bool library = false;
+  std::vector<MutexDecl> mutexes;
+  std::vector<GuardedByDecl> guarded_by;
+  std::vector<RequiresDecl> requires_decls;
+  std::vector<FunctionFact> functions;
+  std::vector<FaultPoint> fault_points;
+  std::vector<ArmedSite> armed_sites;
+  std::vector<MetricUse> metrics;
+  std::vector<IncludeEdge> includes;
+  std::vector<std::string> classes;  // class/struct definitions seen
+  // var name -> type-ish identifiers from its declaration statement
+  // (template args included), used to type member-call receivers.
+  std::map<std::string, std::set<std::string>> type_hints;
+  // `using X = ...;` — X -> identifiers on the right-hand side.
+  std::map<std::string, std::set<std::string>> aliases;
+};
+
+/// Pure per-file extraction; safe to call concurrently on distinct files.
+FileFacts extract_facts(const SourceFile& file);
+
+/// One edge of the static lock-order graph: `from` was held when `to` was
+/// acquired. `witness` renders the acquisition site and, for transitive
+/// edges, the call chain that reaches it.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string witness_file;
+  std::size_t witness_line = 0;
+  std::string witness;  // human-readable, e.g. "A::mu -> B::mu at f.cpp:3 (via x -> y)"
+};
+
+/// A blocking site (direct or reached through calls) under at least one
+/// held lock — the payload for the blocking-under-lock rule.
+struct BlockingUnderLock {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t col = 0;
+  std::string function;      // "Cls::name" or "name"
+  std::string what;          // the blocking primitive
+  std::string chain;         // "" for direct, "f -> g" for transitive
+  std::vector<std::string> held;  // canonical lock nodes
+};
+
+class ProjectIndex {
+ public:
+  /// Merges per-file facts; call once per file, any order (finalize sorts).
+  void add(FileFacts facts, std::shared_ptr<const SourceFile> file);
+
+  /// Resolves names across TUs and computes the lock graph + blocking
+  /// reachability. Must be called exactly once, after every add().
+  void finalize();
+
+  // -- finalized views ----------------------------------------------------
+  const std::vector<FileFacts>& files() const { return files_; }
+  const std::vector<LockEdge>& lock_edges() const { return lock_edges_; }
+  const std::vector<BlockingUnderLock>& blocking_under_lock() const {
+    return blocking_; }
+  const std::vector<FaultPoint>& fault_points() const { return fault_points_; }
+  const std::vector<ArmedSite>& armed_sites() const { return armed_sites_; }
+  const std::vector<IncludeEdge>& include_edges() const { return includes_; }
+
+  /// The SourceFile a project finding lands in, for NOLINT suppression;
+  /// nullptr when the path was never scanned (e.g. the manifest itself).
+  const SourceFile* source(const std::string& path) const;
+
+  /// Graphviz dump of the lock-order graph (stable node/edge order).
+  std::string lock_graph_dot() const;
+
+  /// Human-readable index summary for --index-stats.
+  std::string stats() const;
+
+  /// Lock-order cycles: each is the list of edges forming one cycle,
+  /// deterministically ordered (smallest node first).
+  const std::vector<std::vector<LockEdge>>& cycles() const { return cycles_; }
+
+ private:
+  struct Resolver;
+  std::vector<FileFacts> files_;
+  std::map<std::string, std::shared_ptr<const SourceFile>> sources_;
+  std::vector<LockEdge> lock_edges_;
+  std::vector<std::vector<LockEdge>> cycles_;
+  std::vector<BlockingUnderLock> blocking_;
+  std::vector<FaultPoint> fault_points_;
+  std::vector<ArmedSite> armed_sites_;
+  std::vector<IncludeEdge> includes_;
+  std::size_t num_functions_ = 0;
+  std::size_t num_mutexes_ = 0;
+  std::size_t num_calls_ = 0;
+  std::size_t num_resolved_calls_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace elrec::analyze

@@ -2,14 +2,27 @@
 
 #include <algorithm>
 
+#include "analyze/index.hpp"
+
 namespace elrec::analyze {
 
 void RuleRegistry::add(std::unique_ptr<Rule> rule) {
   rules_.push_back(std::move(rule));
 }
 
+void RuleRegistry::add(std::unique_ptr<ProjectRule> rule) {
+  project_rules_.push_back(std::move(rule));
+}
+
 const Rule* RuleRegistry::find(std::string_view name) const {
   for (const auto& r : rules_) {
+    if (r->name() == name) return r.get();
+  }
+  return nullptr;
+}
+
+const ProjectRule* RuleRegistry::find_project(std::string_view name) const {
+  for (const auto& r : project_rules_) {
     if (r->name() == name) return r.get();
   }
   return nullptr;
@@ -34,6 +47,26 @@ std::vector<Finding> RuleRegistry::run(
   return out;
 }
 
+std::vector<Finding> RuleRegistry::run_project(
+    const ProjectIndex& index, const LintContext& ctx,
+    const std::vector<std::string>& only) const {
+  std::vector<Finding> out;
+  for (const auto& r : project_rules_) {
+    if (!only.empty() &&
+        std::find(only.begin(), only.end(), r->name()) == only.end()) {
+      continue;
+    }
+    r->check(index, ctx, out);
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.col != b.col) return a.col < b.col;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
 Finding make_finding(const SourceFile& file, std::string_view rule,
                      std::size_t line, std::size_t col, std::string message) {
   Finding f;
@@ -51,6 +84,21 @@ Finding make_finding(const SourceFile& file, std::string_view rule,
     text.remove_suffix(1);
   }
   f.snippet = std::string(text);
+  return f;
+}
+
+Finding make_project_finding(const ProjectIndex& index, std::string_view rule,
+                             const std::string& path, std::size_t line,
+                             std::size_t col, std::string message) {
+  if (const SourceFile* file = index.source(path)) {
+    return make_finding(*file, rule, line, col, std::move(message));
+  }
+  Finding f;
+  f.rule = std::string(rule);
+  f.path = path;
+  f.line = line;
+  f.col = col;
+  f.message = std::move(message);
   return f;
 }
 

@@ -24,9 +24,19 @@ struct TraceSpanRequirement {
   std::string function;
 };
 
+/// One fault-site manifest entry: the site string `site` is planted (or
+/// armed) in a file whose path ends with `file_suffix`.
+struct FaultSiteRequirement {
+  std::string file_suffix;
+  std::string site;
+  std::size_t line = 0;  // manifest line, for drift diagnostics
+};
+
 /// Cross-file configuration handed to every rule.
 struct LintContext {
   std::vector<TraceSpanRequirement> trace_manifest;
+  std::vector<FaultSiteRequirement> fault_manifest;
+  std::string fault_manifest_path;  // "" = fault-site-coverage idles
 };
 
 class Rule {
@@ -39,26 +49,63 @@ class Rule {
                      std::vector<Finding>& out) const = 0;
 };
 
+class ProjectIndex;  // index.hpp
+
+/// A rule that sees the whole tree at once through the finalized
+/// ProjectIndex (lock-order-graph, blocking-under-lock, layering-dag,
+/// fault-site-coverage). Same naming/NOLINT contract as Rule.
+class ProjectRule {
+ public:
+  virtual ~ProjectRule() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+  virtual void check(const ProjectIndex& index, const LintContext& ctx,
+                     std::vector<Finding>& out) const = 0;
+};
+
 class RuleRegistry {
  public:
-  /// Registry preloaded with every shipped rule.
+  /// Registry preloaded with every shipped rule (per-file and project).
   static RuleRegistry with_builtin_rules();
 
   void add(std::unique_ptr<Rule> rule);
+  void add(std::unique_ptr<ProjectRule> rule);
   const Rule* find(std::string_view name) const;
+  const ProjectRule* find_project(std::string_view name) const;
   const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+  const std::vector<std::unique_ptr<ProjectRule>>& project_rules() const {
+    return project_rules_;
+  }
 
   /// Runs every rule (or only `only`, when non-empty) over `file`.
   /// Returned findings are ordered by (line, col, rule).
   std::vector<Finding> run(const SourceFile& file, const LintContext& ctx,
                            const std::vector<std::string>& only = {}) const;
 
+  /// Runs every project rule over the finalized index. Findings are
+  /// ordered by (path, line, col, rule).
+  std::vector<Finding> run_project(
+      const ProjectIndex& index, const LintContext& ctx,
+      const std::vector<std::string>& only = {}) const;
+
  private:
   std::vector<std::unique_ptr<Rule>> rules_;
+  std::vector<std::unique_ptr<ProjectRule>> project_rules_;
 };
+
+/// Registers the shipped ProjectRules (project_rules.cpp); called by
+/// RuleRegistry::with_builtin_rules().
+void register_builtin_project_rules(RuleRegistry& registry);
 
 /// Helper for rules: builds a Finding with the snippet filled from `file`.
 Finding make_finding(const SourceFile& file, std::string_view rule,
                      std::size_t line, std::size_t col, std::string message);
+
+/// Project-rule variant: fills the snippet from the scanned SourceFile
+/// when the index has one for `path`, else leaves it empty (e.g. findings
+/// anchored in a manifest file).
+Finding make_project_finding(const ProjectIndex& index, std::string_view rule,
+                             const std::string& path, std::size_t line,
+                             std::size_t col, std::string message);
 
 }  // namespace elrec::analyze

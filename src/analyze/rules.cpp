@@ -21,6 +21,15 @@
 //   trace-span-coverage       — manifest-listed hot-path functions must
 //                               contain TRACE_SPAN (obs coverage cannot
 //                               silently rot).
+//   nolint-rationale          — every NOLINT marker carries a `: reason`
+//                               tail; a suppression whose justification
+//                               lives only in someone's head rots first.
+//                               (The driver exempts this rule from NOLINT
+//                               suppression — a bare NOLINT must not
+//                               silence the rule that audits it.)
+//
+// The cross-TU rules (lock-order-graph, blocking-under-lock,
+// layering-dag, fault-site-coverage) live in project_rules.cpp.
 #include <array>
 #include <string_view>
 
@@ -447,6 +456,25 @@ class TraceSpanCoverageRule final : public Rule {
 
 }  // namespace
 
+class NolintRationaleRule final : public Rule {
+ public:
+  std::string_view name() const override { return "nolint-rationale"; }
+  std::string_view description() const override {
+    return "every NOLINT/NOLINTNEXTLINE marker must carry a ': reason' "
+           "tail stating why the suppression is sound";
+  }
+  void check(const SourceFile& file, const LintContext&,
+             std::vector<Finding>& out) const override {
+    for (const NolintMarker& m : file.nolint_markers()) {
+      if (m.has_reason) continue;
+      out.push_back(make_finding(
+          file, name(), m.line, 1,
+          "NOLINT marker without a rationale; append ': <why this "
+          "suppression is sound>' after the tag"));
+    }
+  }
+};
+
 RuleRegistry RuleRegistry::with_builtin_rules() {
   RuleRegistry r;
   r.add(std::make_unique<DeterminismRandRule>());
@@ -456,6 +484,8 @@ RuleRegistry RuleRegistry::with_builtin_rules() {
   r.add(std::make_unique<LockDisciplineRule>());
   r.add(std::make_unique<HeaderHygieneRule>());
   r.add(std::make_unique<TraceSpanCoverageRule>());
+  r.add(std::make_unique<NolintRationaleRule>());
+  register_builtin_project_rules(r);
   return r;
 }
 

@@ -1,5 +1,6 @@
 #include "analyze/source_file.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -25,21 +26,37 @@ bool has_path_component(std::string_view path, std::string_view part) {
 }
 
 // Parses one comment's text for NOLINT markers. Returns true if a marker
-// was found; fills `rules` with the named rules ("" alone means all) and
-// sets `next_line` for NOLINTNEXTLINE.
+// was found; fills `rules` with the named rules ("" alone means all),
+// sets `next_line` for NOLINTNEXTLINE, and `has_reason` when a
+// `: reason` tail follows the tag (nolint-rationale requires one).
+//
+// The tag must start the comment (only comment punctuation and
+// whitespace before it) and be immediately followed by `(`, `:`, or the
+// end of the comment — "applies NOLINT suppressions" in prose, or a
+// comment line that merely *ends* with the word NOLINT, is not a marker.
 bool parse_nolint(std::string_view comment, std::vector<std::string>* rules,
-                  bool* next_line) {
+                  bool* next_line, bool* has_reason) {
   std::size_t at = comment.find("NOLINT");
   if (at == std::string_view::npos) return false;
+  for (char c : comment.substr(0, at)) {
+    if (c != '/' && c != '*' && c != '!' && c != '<' && c != ' ' &&
+        c != '\t') {
+      return false;  // tag buried in prose, not leading the comment
+    }
+  }
   std::size_t after = at + 6;
   *next_line = comment.substr(after).rfind("NEXTLINE", 0) == 0;
   if (*next_line) after += 8;
   rules->clear();
+  *has_reason = false;
+  bool had_parens = false;
   if (after < comment.size() && comment[after] == '(') {
+    had_parens = true;
     const std::size_t close = comment.find(')', after);
     std::string_view list = comment.substr(
         after + 1,
         close == std::string_view::npos ? close : close - after - 1);
+    after = close == std::string_view::npos ? comment.size() : close + 1;
     std::size_t pos = 0;
     while (pos <= list.size()) {
       std::size_t comma = list.find(',', pos);
@@ -47,11 +64,39 @@ bool parse_nolint(std::string_view comment, std::vector<std::string>* rules,
           pos, comma == std::string_view::npos ? comma : comma - pos);
       while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
       while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
-      if (item.rfind("elrec-", 0) == 0) item.remove_prefix(6);
-      if (!item.empty()) rules->emplace_back(item);
+      // Only elrec- rules are ours; NOLINT(bugprone-...) etc. belongs to
+      // other tools and must neither suppress nor demand a rationale.
+      if (item.rfind("elrec-", 0) == 0 && item.size() > 6) {
+        rules->emplace_back(item.substr(6));
+      }
       if (comma == std::string_view::npos) break;
       pos = comma + 1;
     }
+  }
+
+  std::string_view tail = comment.substr(std::min(after, comment.size()));
+  auto rtrim = [](std::string_view& s) {
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                          s.back() == '\r' || s.back() == '\n')) {
+      s.remove_suffix(1);
+    }
+  };
+  rtrim(tail);
+  if (tail.ends_with("*/")) {
+    tail.remove_suffix(2);
+    rtrim(tail);
+  }
+  while (!tail.empty() && (tail.front() == ' ' || tail.front() == '\t')) {
+    tail.remove_prefix(1);
+  }
+  if (!tail.empty() && tail.front() == ':') {
+    std::string_view reason = tail.substr(1);
+    while (!reason.empty() && reason.front() == ' ') reason.remove_prefix(1);
+    *has_reason = !reason.empty();
+  } else if (!tail.empty() && !had_parens) {
+    return false;  // prose mention, not a marker
+  }
+  if (had_parens) {
     // NOLINT(...) with no recognized rule names suppresses nothing — a
     // typo'd tag must not silently widen to "all rules".
     return !rules->empty();
@@ -120,7 +165,9 @@ void SourceFile::index_suppressions() {
   for (const Token& t : tokens_) {
     if (t.kind != TokenKind::kComment) continue;
     bool next_line = false;
-    if (!parse_nolint(t.text, &rules, &next_line)) continue;
+    bool has_reason = false;
+    if (!parse_nolint(t.text, &rules, &next_line, &has_reason)) continue;
+    markers_.push_back({t.line, next_line, has_reason});
     // Block comments can span lines; NOLINT applies to the line the
     // comment starts on (or the one after, for NEXTLINE).
     const std::size_t target = next_line ? t.line + 1 : t.line;

@@ -1,13 +1,17 @@
 // One analyzed file: its token stream, raw lines, path classification, and
 // the `NOLINT` suppressions parsed out of its comments.
 //
-// Suppression grammar (comment text, anywhere in the comment):
-//   NOLINT                          — all rules, this line
-//   NOLINT(elrec-rule-a, elrec-b)   — listed rules, this line
-//   NOLINTNEXTLINE / NOLINTNEXTLINE(elrec-rule) — same, following line
-// A `: reason` tail after the closing parenthesis is encouraged (the
-// satellite suppressions in this repo all carry one) and ignored by the
-// parser.
+// Suppression grammar (the tag must lead the comment text):
+//   NOLINT: why                        — all rules, this line
+//   NOLINT(elrec-rule-a): why          — listed rules, this line
+//   NOLINTNEXTLINE(elrec-rule-a): why  — same, following line
+// The `: why` tail is what the nolint-rationale rule audits: a marker
+// without one is itself a finding. A marker is recognized only when the
+// tag starts the comment (after `//`, `/*`, `///<` and whitespace) and
+// is immediately followed by `(`, `:`, or the end of the comment, so
+// documentation that merely mentions NOLINT in prose neither suppresses
+// nor trips the rationale rule. Rule lists accept only elrec- names;
+// NOLINT(bugprone-...) belongs to other tools and is ignored entirely.
 #pragma once
 
 #include <cstddef>
@@ -20,6 +24,14 @@
 #include "analyze/token.hpp"
 
 namespace elrec::analyze {
+
+/// One parsed NOLINT/NOLINTNEXTLINE marker (for the nolint-rationale
+/// rule). `line` is the comment's own line, not the suppressed line.
+struct NolintMarker {
+  std::size_t line = 0;
+  bool next_line = false;
+  bool has_reason = false;
+};
 
 class SourceFile {
  public:
@@ -48,6 +60,9 @@ class SourceFile {
   /// marker (bare NOLINT or one naming `elrec-<rule>`).
   bool suppressed(std::string_view rule, std::size_t line) const;
 
+  /// Every NOLINT marker in the file, in source order.
+  const std::vector<NolintMarker>& nolint_markers() const { return markers_; }
+
  private:
   void index_suppressions();
 
@@ -57,6 +72,7 @@ class SourceFile {
   TokenStream tokens_;
   // line -> rule names suppressed there; "" means every rule.
   std::unordered_map<std::size_t, std::unordered_set<std::string>> nolint_;
+  std::vector<NolintMarker> markers_;
 };
 
 }  // namespace elrec::analyze

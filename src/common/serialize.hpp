@@ -54,8 +54,8 @@ class BinaryWriter {
     // destructor cannot throw, so at least make the failure visible.
     if (!out_.good() && !failure_reported_) {
       // A destructor cannot throw and has no obs channel for a torn
-      // checkpoint; stderr is the last resort.
-      // NOLINTNEXTLINE(elrec-iostream-in-lib)
+      // checkpoint, so stderr is the only way to make the failure visible.
+      // NOLINTNEXTLINE(elrec-iostream-in-lib): dtor-only stderr last resort
       std::fprintf(stderr, "elrec: BinaryWriter(%s) destroyed with failed stream — checkpoint is incomplete\n",
                    path_.c_str());
     }

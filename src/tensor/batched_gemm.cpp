@@ -22,8 +22,9 @@ void batched_gemm(const BatchedGemmShape& shape,
 
   std::size_t executed = 0;
 // `executed` is an integral count — order-free; the float work is
-// per-product, not reduced.
-// NOLINTNEXTLINE(elrec-nondeterministic-reduction)
+// per-product, never reduced across threads, so run-to-run bitwise
+// output is unaffected.
+// NOLINTNEXTLINE(elrec-nondeterministic-reduction): integral count only
 #pragma omp parallel for schedule(static) reduction(+ : executed) \
     if (a.size() >= 64)
   for (std::size_t i = 0; i < a.size(); ++i) {

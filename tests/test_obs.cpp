@@ -279,7 +279,10 @@ TEST(ObsStress, EightThreadsTenThousandEventsEach) {
 
 // ---- overhead budget ----------------------------------------------------
 
-#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#if defined(ELREC_UNDER_SANITIZER) || defined(__SANITIZE_THREAD__) || \
+    defined(__SANITIZE_ADDRESS__)
+// ELREC_UNDER_SANITIZER comes from -DELREC_SANITIZE=... (any mode): GCC
+// has no UBSan predefine, so the build system is the only reliable signal.
 #define ELREC_OBS_UNDER_SANITIZER 1
 #elif defined(__has_feature)
 #if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)

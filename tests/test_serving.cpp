@@ -186,7 +186,7 @@ TEST(InferenceSession, ConcurrentReadersMatchSerialReference) {
         for (std::size_t i = 0; i < probs.size(); ++i) {
           if (probs[i] !=
               expected[t][static_cast<std::size_t>(b)][i]) {
-            mismatches.fetch_add(1);
+            mismatches.fetch_add(1, std::memory_order_relaxed);
           }
         }
       }

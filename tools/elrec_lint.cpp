@@ -10,14 +10,25 @@
 //                             finding, then exit 0
 //   --trace-manifest FILE     TRACE_SPAN coverage manifest (default
 //                             tools/trace_spans.manifest if it exists)
-//   --rule NAME               run only this rule (repeatable)
+//   --fault-manifest FILE     fault-site coverage manifest (default
+//                             tools/fault_sites.manifest if it exists)
+//   --rule NAME               run only this rule (repeatable; per-file or
+//                             cross-TU)
 //   --list-rules              print the rule catalogue and exit
+//   --jobs N                  per-file scan thread count (default: auto;
+//                             the report is identical at any N)
+//   --graph-dot FILE          dump the cross-TU lock-order graph as
+//                             Graphviz to FILE ('-' = stdout)
+//   --index-stats             print ProjectIndex summary stats to stdout
+//   --prune-baseline          drop baseline entries that no longer match
+//                             any current finding, rewrite, exit 0
 //
 // Exit status: 0 = clean, 1 = new findings, 2 = usage/configuration error.
 //
 // Defaults resolve relative to the current directory, so run it from the
 // repo root: `tools/elrec_lint src/` (or via `ctest -L lint`).
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -30,13 +41,16 @@ namespace {
 
 constexpr const char* kDefaultBaseline = "tools/elrec_lint_baseline.txt";
 constexpr const char* kDefaultManifest = "tools/trace_spans.manifest";
+constexpr const char* kDefaultFaultManifest = "tools/fault_sites.manifest";
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--format text|json] [--baseline FILE] "
-               "[--write-baseline]\n"
-               "       [--trace-manifest FILE] [--rule NAME]... "
-               "[--list-rules] <path>...\n",
+               "[--write-baseline] [--prune-baseline]\n"
+               "       [--trace-manifest FILE] [--fault-manifest FILE] "
+               "[--rule NAME]... [--list-rules]\n"
+               "       [--jobs N] [--graph-dot FILE] [--index-stats] "
+               "<path>...\n",
                argv0);
   return 2;
 }
@@ -49,8 +63,11 @@ int main(int argc, char** argv) {
   LintOptions opt;
   std::string format = "text";
   bool write_baseline = false;
+  bool prune_baseline = false;
   bool baseline_set = false;
   bool manifest_set = false;
+  bool fault_manifest_set = false;
+  std::string graph_dot_path;
 
   const RuleRegistry registry = RuleRegistry::with_builtin_rules();
 
@@ -76,18 +93,41 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage(argv[0]);
       opt.trace_manifest_path = v;
       manifest_set = true;
+    } else if (arg == "--fault-manifest") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.fault_manifest_path = v;
+      fault_manifest_set = true;
     } else if (arg == "--rule") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
-      if (registry.find(v) == nullptr) {
+      if (registry.find(v) == nullptr && registry.find_project(v) == nullptr) {
         std::fprintf(stderr, "elrec_lint: unknown rule '%s' (--list-rules)\n",
                      v);
         return 2;
       }
       opt.only_rules.emplace_back(v);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.jobs = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--graph-dot") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      graph_dot_path = v;
+      opt.want_graph_dot = true;
+    } else if (arg == "--index-stats") {
+      opt.want_index_stats = true;
+    } else if (arg == "--prune-baseline") {
+      prune_baseline = true;
     } else if (arg == "--list-rules") {
       for (const auto& r : registry.rules()) {
         std::printf("elrec-%-28s %s\n", std::string(r->name()).c_str(),
+                    std::string(r->description()).c_str());
+      }
+      for (const auto& r : registry.project_rules()) {
+        std::printf("elrec-%-28s [cross-TU] %s\n",
+                    std::string(r->name()).c_str(),
                     std::string(r->description()).c_str());
       }
       return 0;
@@ -107,6 +147,9 @@ int main(int argc, char** argv) {
   }
   if (!manifest_set && std::filesystem::exists(kDefaultManifest)) {
     opt.trace_manifest_path = kDefaultManifest;
+  }
+  if (!fault_manifest_set && std::filesystem::exists(kDefaultFaultManifest)) {
+    opt.fault_manifest_path = kDefaultFaultManifest;
   }
 
   try {
@@ -129,7 +172,45 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (prune_baseline) {
+      // Re-run without the baseline so every still-firing finding is
+      // visible, then keep only the entries one of them matches.
+      LintOptions all = opt;
+      all.baseline_path.clear();
+      const LintResult result = run_lint(registry, all);
+      const std::string path =
+          opt.baseline_path.empty() ? kDefaultBaseline : opt.baseline_path;
+      const BaselinePrune pruned =
+          Baseline::load(path).retain_matching(result.fresh);
+      std::ofstream out(path);
+      out << pruned.kept.serialize();
+      if (!out.good()) {
+        std::fprintf(stderr, "elrec_lint: cannot write %s\n", path.c_str());
+        return 2;
+      }
+      std::printf("elrec_lint: pruned %zu stale entr%s from %s (%zu kept)\n",
+                  pruned.removed, pruned.removed == 1 ? "y" : "ies",
+                  path.c_str(), pruned.kept.size());
+      return 0;
+    }
+
     const LintResult result = run_lint(registry, opt);
+    if (!result.lock_graph_dot.empty()) {
+      if (graph_dot_path == "-") {
+        std::fputs(result.lock_graph_dot.c_str(), stdout);
+      } else {
+        std::ofstream out(graph_dot_path);
+        out << result.lock_graph_dot;
+        if (!out.good()) {
+          std::fprintf(stderr, "elrec_lint: cannot write %s\n",
+                       graph_dot_path.c_str());
+          return 2;
+        }
+      }
+    }
+    if (!result.index_stats.empty()) {
+      std::fputs(result.index_stats.c_str(), stdout);
+    }
     const std::string report = format == "json"
                                    ? report_json(result.fresh, result.summary)
                                    : report_text(result.fresh, result.summary);
